@@ -1,0 +1,164 @@
+// §3.3 claims, as google-benchmark micros:
+//  * "The cost of this protection is two to five cycles per load or store"
+//    -> per-access cost delta between instrumented and raw programs.
+//  * "our average cost is ten to fifteen cycles per indirect function call"
+//    -> callable hash-table probe cost.
+//  * code-signing cost (SHA-256 / HMAC) at load time.
+
+#include <benchmark/benchmark.h>
+
+#include "src/base/sha256.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/callable_table.h"
+#include "src/sfi/host.h"
+#include "src/sfi/memory_image.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/signing.h"
+#include "src/sfi/vm.h"
+
+namespace vino {
+namespace {
+
+constexpr int kOps = 256;
+
+Program LoadStoreProgram(bool instrumented) {
+  Asm a("dense");
+  a.LoadImm(R1, 0);
+  for (int i = 0; i < kOps; ++i) {
+    a.Ld64(R2, R1, i * 8);
+    a.St64(R1, R2, i * 8 + 4096);
+  }
+  a.Halt();
+  Result<Program> p = a.Finish();
+  if (!instrumented) {
+    return *p;
+  }
+  return *Instrument(*p, MisfitOptions{16});
+}
+
+Program AluProgram() {
+  Asm a("alu");
+  a.LoadImm(R1, 1);
+  for (int i = 0; i < kOps * 2; ++i) {
+    a.Add(R2, R2, R1);
+  }
+  a.Halt();
+  return *a.Finish();
+}
+
+void BM_VmAluOp(benchmark::State& state) {
+  HostCallTable host;
+  MemoryImage image(4096, 16);
+  Vm vm(&image, &host);
+  const Program p = AluProgram();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.Run(p, {}, RunOptions{}));
+  }
+  state.counters["ns/op"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kOps * 2,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_VmAluOp);
+
+void BM_VmLoadStoreRaw(benchmark::State& state) {
+  HostCallTable host;
+  MemoryImage image(65536, 16);  // Big kernel region: raw offsets stay valid.
+  Vm vm(&image, &host);
+  const Program p = LoadStoreProgram(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.Run(p, {}, RunOptions{}));
+  }
+}
+BENCHMARK(BM_VmLoadStoreRaw);
+
+void BM_VmLoadStoreInstrumented(benchmark::State& state) {
+  // The delta vs. BM_VmLoadStoreRaw, divided by 2*kOps accesses, is the
+  // per-access MiSFIT cost (the paper's 2-5 cycles).
+  HostCallTable host;
+  MemoryImage image(65536, 16);
+  Vm vm(&image, &host);
+  const Program p = LoadStoreProgram(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.Run(p, {}, RunOptions{}));
+  }
+}
+BENCHMARK(BM_VmLoadStoreInstrumented);
+
+void BM_CallableTableProbeHit(benchmark::State& state) {
+  CallableTable table;
+  for (uint64_t i = 1; i <= 64; ++i) {
+    table.Insert(i * 977);
+  }
+  uint64_t key = 977;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Contains(key));
+    key = (key % (64 * 977)) + 977;
+  }
+}
+BENCHMARK(BM_CallableTableProbeHit);
+
+void BM_CallableTableProbeMiss(benchmark::State& state) {
+  CallableTable table;
+  for (uint64_t i = 1; i <= 64; ++i) {
+    table.Insert(i * 977);
+  }
+  uint64_t key = 13;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Contains(key));
+    key += 2;  // Odd keys: never multiples of 977*? (mostly misses).
+  }
+}
+BENCHMARK(BM_CallableTableProbeMiss);
+
+void BM_IndirectCallChecked(benchmark::State& state) {
+  // Full checked indirect host call from inside the VM.
+  HostCallTable host;
+  const uint32_t id = host.Register(
+      "k.noop", [](HostCallContext&) -> Result<uint64_t> { return 0ull; }, true);
+  MemoryImage image(4096, 16);
+  Vm vm(&image, &host);
+  Asm a("ccall");
+  a.LoadImm(R1, id);
+  for (int i = 0; i < 64; ++i) {
+    a.CallR(R1);
+  }
+  a.Halt();
+  const Program p = *Instrument(*a.Finish(), MisfitOptions{16});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vm.Run(p, {}, RunOptions{}));
+  }
+}
+BENCHMARK(BM_IndirectCallChecked);
+
+void BM_MisfitInstrumentation(benchmark::State& state) {
+  // Tool-side cost: rewriting a 512-instruction program.
+  const Program p = LoadStoreProgram(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Instrument(p, MisfitOptions{16}));
+  }
+}
+BENCHMARK(BM_MisfitInstrumentation);
+
+void BM_Sha256_8K(benchmark::State& state) {
+  std::vector<uint8_t> data(8192, 0xcd);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 8192);
+}
+BENCHMARK(BM_Sha256_8K);
+
+void BM_SignAndVerify(benchmark::State& state) {
+  SigningAuthority authority("bench-key");
+  Program p = *Instrument(LoadStoreProgram(false), MisfitOptions{16});
+  for (auto _ : state) {
+    Result<SignedGraft> sg = authority.Sign(p);
+    benchmark::DoNotOptimize(authority.Verify(*sg));
+  }
+}
+BENCHMARK(BM_SignAndVerify);
+
+}  // namespace
+}  // namespace vino
+
+BENCHMARK_MAIN();

@@ -1,0 +1,175 @@
+// Ablation: where does the graft wrapper's fixed overhead go?
+//
+// DESIGN.md calls out the wrapper's cost components; this bench prices each
+// in isolation with google-benchmark:
+//   * the graft-point indirection (atomic graft load + stats),
+//   * the transaction begin/commit pair,
+//   * the resource-account swap,
+//   * the result validator,
+//   * the watchdog arm/disarm,
+//   * the VM entry/exit for a minimal program,
+//   * poll_interval sensitivity (abort-latency vs throughput knob).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/base/log.h"
+#include "src/graft/function_point.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/txn/watchdog.h"
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kRoot{0, true};
+
+struct Fixture {
+  Fixture() {
+    Logger::Instance().SetMinLevel(LogLevel::kError);
+  }
+  TxnManager txn;
+  HostCallTable host;
+};
+
+std::shared_ptr<Graft> NullProgramGraft() {
+  Asm a("null");
+  a.Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  return std::make_shared<Graft>("null", *inst, kRoot, 4096);
+}
+
+std::shared_ptr<Graft> NullNativeGraft() {
+  return std::make_shared<Graft>(
+      "null-native",
+      [](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+        return 0ull;
+      },
+      kRoot);
+}
+
+// Baseline: ungrafted point (the VINO path: indirection only).
+void BM_WrapperUngrafted(benchmark::State& state) {
+  Fixture f;
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &f.txn, &f.host, nullptr);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperUngrafted);
+
+// + transaction + account swap + native call.
+void BM_WrapperNativeNull(benchmark::State& state) {
+  Fixture f;
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &f.txn, &f.host, nullptr);
+  (void)point.Replace(NullNativeGraft());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperNativeNull);
+
+// + VM entry/exit instead of a native call.
+void BM_WrapperVmNull(benchmark::State& state) {
+  Fixture f;
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &f.txn, &f.host, nullptr);
+  (void)point.Replace(NullProgramGraft());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperVmNull);
+
+// + result validator.
+void BM_WrapperVmNullWithValidator(benchmark::State& state) {
+  Fixture f;
+  FunctionGraftPoint::Config config;
+  config.validator = [](uint64_t result, std::span<const uint64_t>) {
+    return result < 100;
+  };
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; }, config,
+      &f.txn, &f.host, nullptr);
+  (void)point.Replace(NullProgramGraft());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperVmNullWithValidator);
+
+// + watchdog arm/disarm per invocation.
+void BM_WrapperVmNullWithWatchdog(benchmark::State& state) {
+  Fixture f;
+  Watchdog dog(10'000);
+  FunctionGraftPoint::Config config;
+  config.watchdog = &dog;
+  config.wall_budget = 1'000'000;  // Never fires.
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; }, config,
+      &f.txn, &f.host, nullptr);
+  (void)point.Replace(NullProgramGraft());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperVmNullWithWatchdog);
+
+// Abort instead of commit (includes forcible removal + reinstall).
+void BM_WrapperVmAbort(benchmark::State& state) {
+  Fixture f;
+  const uint32_t abort_id = f.host.Register(
+      "t.abort",
+      [](HostCallContext&) -> Result<uint64_t> { return Status::kTxnAborted; },
+      true);
+  Asm a("aborter");
+  a.Call(abort_id).Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  auto graft = std::make_shared<Graft>("aborter", *inst, kRoot, 4096);
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &f.txn, &f.host, nullptr);
+  for (auto _ : state) {
+    (void)point.Replace(graft);
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperVmAbort);
+
+// poll_interval sensitivity: a 4096-instruction compute loop at different
+// abort-poll cadences. Finer polling = faster aborts, more poll overhead.
+void BM_PollIntervalSweep(benchmark::State& state) {
+  Fixture f;
+  FunctionGraftPoint::Config config;
+  config.poll_interval = static_cast<uint32_t>(state.range(0));
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; }, config,
+      &f.txn, &f.host, nullptr);
+
+  Asm a("loop4k");
+  auto top = a.NewLabel();
+  a.LoadImm(R1, 2048);
+  a.LoadImm(R2, 0);
+  a.Bind(top);
+  a.AddI(R1, R1, -1);
+  a.Bne(R1, R2, top);
+  a.Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  (void)point.Replace(std::make_shared<Graft>("loop4k", *inst, kRoot, 4096));
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_PollIntervalSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace vino
+
+BENCHMARK_MAIN();

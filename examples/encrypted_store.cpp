@@ -1,0 +1,112 @@
+// Transparent file encryption via a stream graft (paper §4.4).
+//
+// "A stream graft is used to transform a data stream as it passes through
+//  the kernel. Examples of stream grafts are compression, logging,
+//  mirroring, and encryption."
+//
+// An application grafts an xor-cipher onto its open file's stream point:
+// writes are encrypted on the way into the kernel, reads decrypted on the
+// way out. The on-disk blocks hold only ciphertext — shown by peeking at
+// the raw block store — and another open of the same file *without* the
+// graft sees ciphertext, not plaintext.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/kernel/kernel.h"
+
+using namespace vino;
+
+namespace {
+
+constexpr GraftIdentity kApp{2002, false};
+
+// The cipher graft in text assembly. args: r0=in r1=out r2=count r3=dir.
+// A keyed rolling xor (key ^ index) — still toy crypto, but enough to make
+// the point that the transform is arbitrary downloaded code.
+constexpr const char* kCipherSource = R"(
+  ; rolling-xor stream cipher
+  loadi r4, 0          ; index
+  loadi r5, 0x5c       ; key byte
+loop:
+  bgeu r4, r2, done
+  add r6, r0, r4
+  ld8 r7, r6
+  xor r7, r7, r5
+  andi r8, r4, 0xff    ; mix the index in
+  xor r7, r7, r8
+  add r6, r1, r4
+  st8 r6, r7
+  addi r4, r4, 1
+  jmp loop
+done:
+  loadi r0, 0
+  halt
+)";
+
+std::string Hex(const uint8_t* data, size_t n) {
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    char buf[4];
+    std::snprintf(buf, sizeof(buf), "%02x", data[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  Logger::Instance().SetMinLevel(LogLevel::kError);
+  std::printf("== transparent file encryption via a stream graft (paper §4.4) ==\n\n");
+
+  VinoKernel kernel;
+  Result<FileId> file = kernel.fs().CreateFile("secrets.db", 16 * 4096);
+  Result<OpenFile*> secure = kernel.fs().Open(*file);
+
+  Result<std::shared_ptr<Graft>> cipher =
+      kernel.LoadGraftFromSource(kCipherSource, "rolling-xor", kApp);
+  if (!cipher.ok()) {
+    std::fprintf(stderr, "cipher load failed\n");
+    return 1;
+  }
+  kernel.loader().InstallFunction((*secure)->stream_point().name(), *cipher);
+  std::printf("cipher graft installed at %s\n\n",
+              (*secure)->stream_point().name().c_str());
+
+  // --- Write through the graft. -----------------------------------------
+  const std::string secret = "the merger closes friday at 9am";
+  (void)(*secure)->WriteBytes(0, secret.size(),
+                              reinterpret_cast<const uint8_t*>(secret.data()));
+  std::printf("wrote plaintext:   \"%s\"\n", secret.c_str());
+
+  // Raw block store holds ciphertext.
+  Result<BlockId> block0 = kernel.fs().BlockFor(*file, 0);
+  const uint8_t* raw = kernel.fs().BlockData(*block0);
+  std::printf("on-disk bytes:     %s...\n", Hex(raw, 16).c_str());
+
+  // --- Read back through the graft: decrypted. ---------------------------
+  std::vector<uint8_t> readback(secret.size());
+  (void)(*secure)->ReadBytes(0, readback.size(), readback.data());
+  std::printf("read via graft:    \"%s\"\n",
+              std::string(readback.begin(), readback.end()).c_str());
+
+  // --- A second open WITHOUT the graft sees ciphertext. -------------------
+  Result<OpenFile*> plain = kernel.fs().Open(*file);
+  std::vector<uint8_t> snooped(secret.size());
+  (void)(*plain)->ReadBytes(0, snooped.size(), snooped.data());
+  std::printf("read w/o graft:    \"%.12s...\" (ciphertext)\n\n", snooped.data());
+
+  std::printf("matches original:  %s\n",
+              std::string(readback.begin(), readback.end()) == secret ? "yes"
+                                                                      : "NO");
+  std::printf("snooper got junk:  %s\n",
+              std::string(snooped.begin(), snooped.end()) != secret ? "yes" : "NO");
+  std::printf("\n[txn] begins=%llu commits=%llu aborts=%llu\n",
+              static_cast<unsigned long long>(kernel.txn().stats().begins),
+              static_cast<unsigned long long>(kernel.txn().stats().commits),
+              static_cast<unsigned long long>(kernel.txn().stats().aborts));
+  return 0;
+}

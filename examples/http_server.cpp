@@ -1,0 +1,149 @@
+// An in-kernel HTTP server as an event graft (paper §3.5, Figure 2).
+//
+// The handler graft is attached to the TCP port-80 connection event. For
+// each connection it receives the request through net.recv, inspects the
+// method byte, and replies through net.send — all inside a transaction. A
+// second, buggy handler on port 8080 demonstrates the covert-denial-of-
+// service defence: it hangs, gets aborted, its partial output is
+// retracted, and it is removed from the event point while port 80 keeps
+// serving.
+
+#include <cstdio>
+#include <string>
+
+#include "src/base/log.h"
+#include "src/graft/loader.h"
+#include "src/net/net_stack.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+
+using namespace vino;
+
+namespace {
+
+constexpr GraftIdentity kWebAdmin{500, false};
+
+// The response the graft serves. Written into the graft's arena by the
+// *application* before installation (static content), sent by the graft.
+constexpr const char kResponse[] =
+    "HTTP/1.0 200 OK\r\nServer: vino-graft\r\n\r\n<h1>hello from the kernel</h1>";
+
+// Arena layout: [0..1024) request buffer, [1024..2048) response template.
+// Handler: recv request; if it starts with 'G' (GET) send the response,
+// else send nothing; close.
+Program HttpHandler(const HostCallTable& host, bool hang) {
+  const uint32_t recv = host.IdOf("net.recv").value();
+  const uint32_t send = host.IdOf("net.send").value();
+  const uint32_t close = host.IdOf("net.close").value();
+  const auto arena_base = 65536;  // kernel region 4096 -> 64KiB-aligned arena.
+
+  Asm a(hang ? "http-hang" : "http-ok");
+  auto not_get = a.NewLabel();
+  auto out = a.NewLabel();
+
+  a.Mov(R6, R0);                    // connection id
+  a.LoadImm(R7, arena_base);        // request buffer
+  a.Mov(R1, R7);
+  a.LoadImm(R2, 1024);
+  a.Call(recv);                     // r0 = bytes received
+  a.Mov(R8, R0);
+
+  a.Ld8(R9, R7);                    // first byte of the request
+  a.LoadImm(R10, 'G');
+  a.Bne(R9, R10, not_get);
+
+  if (hang) {
+    // Send half a response, then never return (covert DoS, §2.5).
+    a.Mov(R0, R6);
+    a.LoadImm(R1, arena_base + 1024);
+    a.LoadImm(R2, 16);
+    a.Call(send);
+    auto forever = a.NewLabel();
+    a.Bind(forever);
+    a.Jmp(forever);
+  }
+
+  a.Mov(R0, R6);
+  a.LoadImm(R1, arena_base + 1024);
+  a.LoadImm(R2, static_cast<int64_t>(sizeof(kResponse) - 1));
+  a.Call(send);
+  a.Jmp(out);
+
+  a.Bind(not_get);                  // Non-GET: no body, just close.
+  a.Bind(out);
+  a.Mov(R0, R6);
+  a.Call(close);
+  a.LoadImm(R0, 1);
+  a.Halt();
+  return *a.Finish();
+}
+
+}  // namespace
+
+int main() {
+  Logger::Instance().SetMinLevel(LogLevel::kError);
+  std::printf("== in-kernel HTTP server via event grafts (paper §3.5) ==\n\n");
+
+  TxnManager txn;
+  HostCallTable host;
+  GraftNamespace ns;
+  NetStack net(&txn, &host, &ns);
+  SigningAuthority authority("http-key");
+  GraftLoader loader(&ns, &host, SigningAuthority("http-key"));
+
+  EventGraftPoint* port80 = net.ListenTcp(80);
+  EventGraftPoint* port8080 = net.ListenTcp(8080);
+
+  auto install = [&](uint16_t port, bool hang) -> std::shared_ptr<Graft> {
+    Result<SignedGraft> sg = authority.Sign(*Instrument(HttpHandler(host, hang)));
+    Result<std::shared_ptr<Graft>> graft = loader.Load(*sg, {kWebAdmin, nullptr});
+    // The handler needs bandwidth to reply and a thread to run on.
+    (*graft)->account().SetLimit(ResourceType::kNetBandwidth, 1 << 20);
+    (*graft)->account().SetLimit(ResourceType::kThreads, 4);
+    // Deposit the static response into the graft's arena.
+    (void)(*graft)->image().Write((*graft)->image().arena_base() + 1024,
+                                  kResponse, sizeof(kResponse) - 1);
+    const std::string point =
+        "net.tcp." + std::to_string(port) + ".connection";
+    loader.InstallEvent(point, *graft, /*order=*/1);
+    return *graft;
+  };
+
+  install(80, /*hang=*/false);
+  install(8080, /*hang=*/true);
+
+  // --- Traffic. ----------------------------------------------------------
+  std::printf("GET / on port 80:\n");
+  Result<ConnectionId> c1 = net.DeliverConnection(80, "GET / HTTP/1.0\r\n\r\n");
+  std::printf("  response: %s\n\n",
+              net.FindConnection(*c1)->tx.substr(0, 40).c_str());
+
+  std::printf("POST / on port 80 (handler ignores non-GET):\n");
+  Result<ConnectionId> c2 = net.DeliverConnection(80, "POST / HTTP/1.0\r\n\r\n");
+  std::printf("  response bytes: %zu (connection closed: %s)\n\n",
+              net.FindConnection(*c2)->tx.size(),
+              net.FindConnection(*c2)->open ? "no" : "yes");
+
+  std::printf("GET / on port 8080 (buggy handler hangs mid-reply):\n");
+  Result<ConnectionId> c3 = net.DeliverConnection(8080, "GET / HTTP/1.0\r\n\r\n");
+  std::printf("  response bytes after abort: %zu (partial send retracted)\n",
+              net.FindConnection(*c3)->tx.size());
+  std::printf("  port 8080 handlers remaining: %zu (removed after abort)\n\n",
+              port8080->handler_count());
+
+  std::printf("port 80 still serving:\n");
+  Result<ConnectionId> c4 = net.DeliverConnection(80, "GET /again HTTP/1.0\r\n\r\n");
+  std::printf("  response: %s\n\n",
+              net.FindConnection(*c4)->tx.substr(0, 40).c_str());
+
+  const EventGraftPoint::Stats s80 = port80->stats();
+  std::printf("[port 80] events=%llu handler_runs=%llu aborts=%llu\n",
+              static_cast<unsigned long long>(s80.events),
+              static_cast<unsigned long long>(s80.handler_runs),
+              static_cast<unsigned long long>(s80.handler_aborts));
+  std::printf("[txn] begins=%llu commits=%llu aborts=%llu\n",
+              static_cast<unsigned long long>(txn.stats().begins),
+              static_cast<unsigned long long>(txn.stats().commits),
+              static_cast<unsigned long long>(txn.stats().aborts));
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Quickstart: the full life of a graft, end to end.
+//
+//  1. Author a graft in text assembly.
+//  2. Run it through MiSFIT (instrumentation) and sign it.
+//  3. Load it through the kernel's dynamic linker (signature + link checks).
+//  4. Install it at a function graft point, replacing the default policy.
+//  5. Invoke it — inside a transaction, sandboxed.
+//  6. Watch a misbehaving version get aborted, undone, and evicted while
+//     the kernel keeps answering with the default implementation.
+
+#include <cstdio>
+#include <span>
+
+#include "src/base/log.h"
+#include "src/graft/loader.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/txn/accessor.h"
+
+using namespace vino;  // Example code; library code never does this.
+
+namespace {
+
+constexpr GraftIdentity kAlice{1001, /*privileged=*/false};
+
+// Kernel state some accessor manipulates, to show undo in action.
+uint64_t g_kernel_counter = 100;
+
+}  // namespace
+
+int main() {
+  Logger::Instance().SetMinLevel(LogLevel::kError);
+  std::printf("== vinolite quickstart ==\n\n");
+
+  // --- The kernel side: host functions, namespace, loader. -------------
+  TxnManager txn;
+  HostCallTable host;
+  GraftNamespace ns;
+  SigningAuthority toolchain("vinolite-demo-key");  // MiSFIT's signing key.
+  GraftLoader loader(&ns, &host, SigningAuthority("vinolite-demo-key"));
+
+  // A graft-callable accessor: doubles the kernel counter, undo-logged.
+  const uint32_t bump_id = host.Register(
+      "demo.bump_counter",
+      [](HostCallContext& ctx) -> Result<uint64_t> {
+        TxnSet(&g_kernel_counter, g_kernel_counter + ctx.args[0]);
+        return g_kernel_counter;
+      },
+      /*graft_callable=*/true);
+  (void)bump_id;
+
+  // A kernel function grafts are NOT allowed to call.
+  host.Register(
+      "demo.shutdown",
+      [](HostCallContext&) -> Result<uint64_t> {
+        std::printf("!! kernel would halt here\n");
+        return 0ull;
+      },
+      /*graft_callable=*/false);
+
+  // A graft point: some kernel object's "scale" policy. Default: identity.
+  FunctionGraftPoint point(
+      "demo.object.scale",
+      [](std::span<const uint64_t> args) -> uint64_t {
+        return args.empty() ? 0 : args[0];
+      },
+      FunctionGraftPoint::Config{}, &txn, &host, &ns);
+
+  // --- The application side: write, protect, sign a graft. -------------
+  const char* source = R"(
+    ; scale(x) = 3*x + 1, and bump the kernel counter by x
+    mov r6, r0               ; stash x
+    call demo.bump_counter   ; kernel accessor (undo-logged)
+    muli r0, r6, 3
+    addi r0, r0, 1
+    halt
+  )";
+  Result<Program> program = Assemble(source, "scale3x1", &host);
+  if (!program.ok()) {
+    return 1;
+  }
+  Result<Program> protected_program = Instrument(*program);
+  Result<SignedGraft> signed_graft = toolchain.Sign(*protected_program);
+
+  // --- Load and install. ------------------------------------------------
+  Result<std::shared_ptr<Graft>> graft =
+      loader.Load(*signed_graft, {kAlice, nullptr});
+  std::printf("load signed graft:            %s\n",
+              std::string(StatusName(graft.status())).c_str());
+  Status installed = loader.InstallFunction("demo.object.scale", *graft);
+  std::printf("install at demo.object.scale: %s\n",
+              std::string(StatusName(installed)).c_str());
+
+  // --- Invoke. -----------------------------------------------------------
+  const uint64_t args[1] = {7};
+  std::printf("\ninvoke(7) with graft  -> %llu   (expected 3*7+1 = 22)\n",
+              static_cast<unsigned long long>(point.Invoke(args)));
+  std::printf("kernel counter now       %llu   (accessor committed)\n",
+              static_cast<unsigned long long>(g_kernel_counter));
+
+  // --- Tampering is caught at load time. --------------------------------
+  SignedGraft tampered = *signed_graft;
+  tampered.program.code[2].imm = 1000;  // Patch the multiplier post-signing.
+  std::printf("\nload tampered copy:           %s\n",
+              std::string(StatusName(loader.Load(tampered, {kAlice, nullptr}).status()))
+                  .c_str());
+
+  // --- Calling restricted kernel functions is caught at link time. ------
+  Result<Program> evil =
+      Assemble("call demo.shutdown\nhalt\n", "evil", &host);
+  Result<SignedGraft> evil_signed = toolchain.Sign(*Instrument(*evil));
+  std::printf("load graft calling demo.shutdown: %s\n",
+              std::string(StatusName(
+                  loader.Load(*evil_signed, {kAlice, nullptr}).status()))
+                  .c_str());
+
+  // --- A misbehaving replacement is aborted and evicted. -----------------
+  point.Remove();
+  const char* hog_source = R"(
+    ; bump the counter, then spin forever (resource hoarding)
+    loadi r0, 5
+    call demo.bump_counter
+    forever:
+      jmp forever
+  )";
+  Result<SignedGraft> hog_signed =
+      toolchain.Sign(*Instrument(*Assemble(hog_source, "hog", &host)));
+  Result<std::shared_ptr<Graft>> hog = loader.Load(*hog_signed, {kAlice, nullptr});
+  (void)loader.InstallFunction("demo.object.scale", *hog);
+
+  const uint64_t counter_before = g_kernel_counter;
+  std::printf("\ninvoke(7) with hog    -> %llu   (fell back to default: 7)\n",
+              static_cast<unsigned long long>(point.Invoke(args)));
+  std::printf("kernel counter           %llu   (graft's bump was undone: %llu)\n",
+              static_cast<unsigned long long>(g_kernel_counter),
+              static_cast<unsigned long long>(counter_before));
+  std::printf("graft still installed?   %s   (forcibly removed)\n",
+              point.grafted() ? "yes" : "no");
+  std::printf("transactions: %llu begun, %llu committed, %llu aborted\n",
+              static_cast<unsigned long long>(txn.stats().begins),
+              static_cast<unsigned long long>(txn.stats().commits),
+              static_cast<unsigned long long>(txn.stats().aborts));
+  return 0;
+}

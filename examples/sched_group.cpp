@@ -1,0 +1,129 @@
+// Cooperative scheduling with schedule-delegate grafts (paper §4.3).
+//
+// A database server and three clients form one scheduling group. When a
+// client has a request outstanding, its delegate graft donates its
+// timeslice to the server, so the server's share of the CPU grows with
+// demand — without affecting the unrelated "bystander" application in
+// another group (Cao's principle / Rule 8).
+
+#include <cstdio>
+
+#include "src/base/log.h"
+#include "src/graft/loader.h"
+#include "src/graft/namespace.h"
+#include "src/sched/scheduler.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+
+using namespace vino;
+
+namespace {
+
+constexpr GraftIdentity kDba{42, false};
+constexpr uint64_t kDbGroup = 1;
+constexpr uint64_t kOtherGroup = 2;
+
+// Delegate graft: if the "request outstanding" flag in the shared arena is
+// nonzero, return the server's thread id; else run ourselves.
+// Args: r0 = own id. The application mailbox lives at arena offset 1024
+// (offsets below that belong to the kernel's process-list marshalling):
+// arena[1024] = flag, arena[1032] = server id.
+Program DonatingDelegate() {
+  Asm a("donate-to-server");
+  auto self = a.NewLabel();
+  a.LoadImm(R1, 1024);   // Arena-relative; masking maps it to the arena.
+  a.Ld64(R2, R1);        // flag
+  a.LoadImm(R3, 0);
+  a.Beq(R2, R3, self);
+  a.Ld64(R0, R1, 8);     // server id
+  a.Halt();
+  a.Bind(self);
+  a.Halt();              // r0 still holds own id.
+  return *a.Finish();
+}
+
+void PrintShares(const char* phase, Scheduler& sched, ThreadId server,
+                 const std::vector<ThreadId>& clients, ThreadId bystander) {
+  const double total = 200.0;  // Decisions per phase.
+  std::printf("%-28s server %5.1f%%  clients", phase,
+              100.0 * static_cast<double>(sched.Find(server)->dispatches()) / total);
+  for (ThreadId c : clients) {
+    std::printf(" %4.1f%%",
+                100.0 * static_cast<double>(sched.Find(c)->dispatches()) / total);
+  }
+  std::printf("  bystander %5.1f%%\n",
+              100.0 * static_cast<double>(sched.Find(bystander)->dispatches()) / total);
+}
+
+}  // namespace
+
+int main() {
+  Logger::Instance().SetMinLevel(LogLevel::kError);
+  std::printf("== timeslice donation via schedule-delegate grafts (paper §4.3) ==\n\n");
+
+  TxnManager txn;
+  HostCallTable host;
+  GraftNamespace ns;
+  ManualClock clock;
+  Scheduler sched(Scheduler::Params{}, &clock, &txn, &host, &ns);
+  SigningAuthority authority("sched-key");
+  GraftLoader loader(&ns, &host, SigningAuthority("sched-key"));
+
+  KernelThread* server = sched.CreateThread("db-server", kDbGroup);
+  std::vector<ThreadId> clients;
+  std::vector<std::shared_ptr<Graft>> grafts;
+  for (int i = 0; i < 3; ++i) {
+    KernelThread* c = sched.CreateThread("client-" + std::to_string(i), kDbGroup);
+    clients.push_back(c->id());
+    Result<SignedGraft> sg = authority.Sign(*Instrument(DonatingDelegate()));
+    Result<std::shared_ptr<Graft>> graft = loader.Load(*sg, {kDba, nullptr});
+    // Tell the graft who the server is; no request outstanding yet.
+    MemoryImage& arena = (*graft)->image();
+    (void)arena.WriteU64(arena.arena_base() + 1024, 0);
+    (void)arena.WriteU64(arena.arena_base() + 1032, server->id());
+    (void)loader.InstallFunction(c->delegate_point().name(), *graft);
+    grafts.push_back(*graft);
+  }
+  KernelThread* bystander = sched.CreateThread("bystander", kOtherGroup);
+
+  // Phase 1: idle database — no requests outstanding, fair round-robin.
+  sched.Run(200);
+  PrintShares("idle (no requests):", sched, server->id(), clients,
+              bystander->id());
+
+  // Phase 2: all clients blocked on the server — donate their slices.
+  const auto before_server = server->dispatches();
+  std::vector<uint64_t> before_clients;
+  for (ThreadId c : clients) {
+    before_clients.push_back(sched.Find(c)->dispatches());
+  }
+  const auto before_bystander = bystander->dispatches();
+  for (auto& graft : grafts) {
+    MemoryImage& arena = graft->image();
+    (void)arena.WriteU64(arena.arena_base() + 1024, 1);  // Request outstanding!
+  }
+  sched.Run(200);
+
+  const double total = 200.0;
+  std::printf("%-28s server %5.1f%%  clients", "requests outstanding:",
+              100.0 * static_cast<double>(server->dispatches() - before_server) / total);
+  for (size_t i = 0; i < clients.size(); ++i) {
+    std::printf(" %4.1f%%",
+                100.0 *
+                    static_cast<double>(sched.Find(clients[i])->dispatches() -
+                                        before_clients[i]) /
+                    total);
+  }
+  std::printf("  bystander %5.1f%%\n",
+              100.0 * static_cast<double>(bystander->dispatches() - before_bystander) /
+                  total);
+
+  std::printf(
+      "\nWith requests outstanding, the clients' slices flow to the server\n"
+      "(~80%% of the CPU) while the bystander in another group keeps its\n"
+      "fair 20%% share — the delegation cannot touch non-consenting apps.\n");
+  std::printf("[sched] delegations=%llu invalid=%llu\n",
+              static_cast<unsigned long long>(sched.stats().delegations),
+              static_cast<unsigned long long>(sched.stats().invalid_delegations));
+  return 0;
+}

@@ -1,0 +1,47 @@
+#include "src/base/clock.h"
+
+#include <chrono>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace vino {
+
+SteadyClock& SteadyClock::Instance() {
+  static SteadyClock clock;
+  return clock;
+}
+
+uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned int aux = 0;
+  // rdtscp serializes with earlier instructions; good enough for path
+  // measurements without a full cpuid fence on both sides.
+  return __rdtscp(&aux);
+#else
+  auto d = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+#endif
+}
+
+double CyclesPerMicro() {
+  static const double cached = [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = ReadCycleCounter();
+    // ~20ms calibration window keeps startup fast but stable.
+    for (;;) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto us =
+          std::chrono::duration_cast<std::chrono::microseconds>(t1 - t0).count();
+      if (us >= 20000) {
+        const uint64_t c1 = ReadCycleCounter();
+        return static_cast<double>(c1 - c0) / static_cast<double>(us);
+      }
+    }
+  }();
+  return cached;
+}
+
+}  // namespace vino

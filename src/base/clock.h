@@ -1,0 +1,74 @@
+// Clock abstractions.
+//
+// vinolite has two notions of time:
+//  * SimClock   - virtual microseconds driving simulated hardware (the disk
+//                 model, the scheduler's timeslices, page-daemon pacing).
+//                 Advanced explicitly; fully deterministic.
+//  * real time  - the host's monotonic clock / TSC, used by the measurement
+//                 harness and by lock-contention time-outs, where wall-clock
+//                 behaviour is the point.
+//
+// Code that needs time takes a Clock* so tests can substitute a ManualClock.
+
+#ifndef VINOLITE_SRC_BASE_CLOCK_H_
+#define VINOLITE_SRC_BASE_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace vino {
+
+// Microseconds of virtual or real time.
+using Micros = uint64_t;
+
+// Abstract time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Current time in microseconds. Monotonic, starts near zero for manual
+  // clocks; arbitrary epoch for real clocks.
+  [[nodiscard]] virtual Micros NowMicros() const = 0;
+};
+
+// Deterministic, explicitly advanced clock for tests and simulation.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(Micros start = 0) : now_(start) {}
+
+  [[nodiscard]] Micros NowMicros() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void Advance(Micros delta) { now_.fetch_add(delta, std::memory_order_acq_rel); }
+  void Set(Micros t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<Micros> now_;
+};
+
+// Host monotonic clock.
+class SteadyClock final : public Clock {
+ public:
+  [[nodiscard]] Micros NowMicros() const override {
+    auto d = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<Micros>(
+        std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+  }
+
+  // Process-wide instance, suitable for contexts that do not need injection.
+  static SteadyClock& Instance();
+};
+
+// Serializing read of the CPU timestamp counter; the measurement primitive
+// used by the benchmark harness (the paper used the Pentium cycle counter
+// the same way).
+[[nodiscard]] uint64_t ReadCycleCounter();
+
+// Best-effort estimate of the TSC frequency in cycles per microsecond, via a
+// short calibration loop against the steady clock. Cached after first call.
+[[nodiscard]] double CyclesPerMicro();
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_CLOCK_H_

@@ -1,0 +1,54 @@
+#include "src/base/context.h"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace vino {
+namespace {
+
+// Registry of live thread contexts, for cross-thread abort delivery.
+// Guarded by RegistryMutex(); contexts register in their constructor and
+// unregister in their destructor (thread exit).
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::unordered_map<uint64_t, KernelContext*>& Registry() {
+  static auto* map = new std::unordered_map<uint64_t, KernelContext*>();
+  return *map;
+}
+
+uint64_t NextOsId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+KernelContext::KernelContext() : os_id(NextOsId()) {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  Registry()[os_id] = this;
+}
+
+KernelContext::~KernelContext() {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  Registry().erase(os_id);
+}
+
+KernelContext& KernelContext::Current() {
+  thread_local KernelContext context;
+  return context;
+}
+
+bool KernelContext::PostAbortRequest(uint64_t os_id, int32_t reason_status_value) {
+  std::lock_guard<std::mutex> guard(RegistryMutex());
+  const auto it = Registry().find(os_id);
+  if (it == Registry().end()) {
+    return false;
+  }
+  it->second->pending_abort.store(reason_status_value, std::memory_order_release);
+  return true;
+}
+
+}  // namespace vino

@@ -1,0 +1,81 @@
+// Per-OS-thread kernel context.
+//
+// The paper's model (§6): "grafts are effectively user-level processes that
+// happen to run in the kernel's address space". Each OS thread executing
+// kernel code carries a context naming the kernel thread it represents, the
+// transaction it is running (if any), and the resource account its
+// allocations are charged to. Graft wrappers swap these around invocations
+// (§3.2: "When a thread invokes a grafted function in the kernel, the
+// thread's resource limits are replaced by those associated with the graft").
+//
+// Asynchronous abort requests (lock time-outs fired by *other* threads,
+// §3.2) are delivered through the context, not through Transaction pointers:
+// a waiter posts a status flag here under the context registry lock; the
+// owning thread notices it at its next preemption point and aborts its own
+// innermost transaction. This keeps Transaction lifetime single-threaded.
+
+#ifndef VINOLITE_SRC_BASE_CONTEXT_H_
+#define VINOLITE_SRC_BASE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace vino {
+
+class Transaction;      // src/txn/transaction.h
+class ResourceAccount;  // src/resource/account.h
+
+struct KernelContext {
+  KernelContext();
+  ~KernelContext();
+
+  KernelContext(const KernelContext&) = delete;
+  KernelContext& operator=(const KernelContext&) = delete;
+
+  // Unique id for the underlying OS thread, assigned at first use and
+  // registered for cross-thread abort delivery.
+  uint64_t os_id = 0;
+
+  // Kernel thread identity; 0 until a KernelThread adopts this OS thread.
+  uint64_t thread_id = 0;
+
+  // Innermost active transaction, or null. Only the owning thread reads or
+  // writes this field.
+  Transaction* txn = nullptr;
+
+  // Account charged for resource allocations, or null (unaccounted kernel
+  // work, e.g. boot-time setup).
+  ResourceAccount* account = nullptr;
+
+  // Pending asynchronous abort, as the int value of a Status; 0 = none.
+  // Posted by other threads via PostAbortRequest, consumed by this thread.
+  std::atomic<int32_t> pending_abort{0};
+
+  // The calling OS thread's context. Never null.
+  static KernelContext& Current();
+
+  // Posts an abort request to the thread with the given os_id. Returns false
+  // if that thread's context no longer exists. `reason_status_value` is the
+  // int value of a vino::Status.
+  static bool PostAbortRequest(uint64_t os_id, int32_t reason_status_value);
+};
+
+// RAII: swaps the current thread's resource account, restoring on exit.
+class ScopedAccount {
+ public:
+  explicit ScopedAccount(ResourceAccount* account)
+      : saved_(KernelContext::Current().account) {
+    KernelContext::Current().account = account;
+  }
+  ~ScopedAccount() { KernelContext::Current().account = saved_; }
+
+  ScopedAccount(const ScopedAccount&) = delete;
+  ScopedAccount& operator=(const ScopedAccount&) = delete;
+
+ private:
+  ResourceAccount* saved_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_CONTEXT_H_

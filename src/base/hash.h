@@ -1,0 +1,38 @@
+// Small non-cryptographic hashes used by kernel data structures
+// (the graft-callable open hash table, thread-id validity table).
+
+#ifndef VINOLITE_SRC_BASE_HASH_H_
+#define VINOLITE_SRC_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace vino {
+
+// FNV-1a over bytes.
+[[nodiscard]] constexpr uint64_t Fnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+[[nodiscard]] inline uint64_t Fnv1a(std::string_view s) {
+  return Fnv1a(s.data(), s.size());
+}
+
+// Finalizer for integer keys (splitmix64 mix); good avalanche, cheap.
+[[nodiscard]] constexpr uint64_t MixU64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_HASH_H_

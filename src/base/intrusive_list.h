@@ -1,0 +1,143 @@
+// Intrusive doubly-linked list, the classic kernel container: nodes embed
+// their own links, so insertion/removal never allocates and an element can be
+// removed given only a pointer to it (needed by the page cache's Cao-style
+// "swap positions in the LRU queue" operation).
+
+#ifndef VINOLITE_SRC_BASE_INTRUSIVE_LIST_H_
+#define VINOLITE_SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace vino {
+
+// Embed one of these per list membership.
+struct ListNode {
+  ListNode* prev = nullptr;
+  ListNode* next = nullptr;
+
+  [[nodiscard]] bool linked() const { return prev != nullptr; }
+
+  void Unlink() {
+    assert(linked());
+    prev->next = next;
+    next->prev = prev;
+    prev = nullptr;
+    next = nullptr;
+  }
+};
+
+// T must derive from ListNode (single membership) or expose the node via
+// the NodeOf customization below.
+template <typename T>
+class IntrusiveList {
+ public:
+  IntrusiveList() {
+    head_.prev = &head_;
+    head_.next = &head_;
+  }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  ~IntrusiveList() { Clear(); }
+
+  [[nodiscard]] bool empty() const { return head_.next == &head_; }
+  [[nodiscard]] size_t size() const { return size_; }
+
+  void PushBack(T* item) { InsertBefore(&head_, item); }
+  void PushFront(T* item) { InsertBefore(head_.next, item); }
+
+  // Inserts `item` immediately before `pos` (which must be in this list).
+  void InsertBefore(T* pos, T* item) { InsertBefore(Node(pos), item); }
+
+  T* Front() { return empty() ? nullptr : FromNode(head_.next); }
+  T* Back() { return empty() ? nullptr : FromNode(head_.prev); }
+
+  T* PopFront() {
+    T* f = Front();
+    if (f != nullptr) {
+      Remove(f);
+    }
+    return f;
+  }
+
+  void Remove(T* item) {
+    Node(item)->Unlink();
+    --size_;
+  }
+
+  // Removes `out` from the list and links `in` into the position `out`
+  // occupied. This is the paper's Cao-replacement primitive: "place the
+  // original victim into the global LRU queue in the spot occupied by the
+  // replacement specified by the graft."
+  void Replace(T* out, T* in) {
+    ListNode* o = Node(out);
+    ListNode* n = Node(in);
+    assert(o->linked());
+    assert(!n->linked());
+    n->prev = o->prev;
+    n->next = o->next;
+    n->prev->next = n;
+    n->next->prev = n;
+    o->prev = nullptr;
+    o->next = nullptr;
+  }
+
+  void Clear() {
+    while (!empty()) {
+      PopFront();
+    }
+  }
+
+  class iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    explicit iterator(ListNode* n) : node_(n) {}
+    T& operator*() const { return *FromNode(node_); }
+    T* operator->() const { return FromNode(node_); }
+    iterator& operator++() {
+      node_ = node_->next;
+      return *this;
+    }
+    iterator operator++(int) {
+      iterator copy = *this;
+      node_ = node_->next;
+      return copy;
+    }
+    bool operator==(const iterator& other) const = default;
+
+   private:
+    ListNode* node_;
+  };
+
+  iterator begin() { return iterator(head_.next); }
+  iterator end() { return iterator(&head_); }
+
+ private:
+  static ListNode* Node(T* item) { return static_cast<ListNode*>(item); }
+  static T* FromNode(ListNode* n) { return static_cast<T*>(n); }
+
+  void InsertBefore(ListNode* pos, T* item) {
+    ListNode* n = Node(item);
+    assert(!n->linked());
+    n->prev = pos->prev;
+    n->next = pos;
+    pos->prev->next = n;
+    pos->prev = n;
+    ++size_;
+  }
+
+  ListNode head_;
+  size_t size_ = 0;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_INTRUSIVE_LIST_H_

@@ -1,0 +1,54 @@
+#include "src/base/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace vino {
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& WriteMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view msg) {
+        std::lock_guard<std::mutex> guard(WriteMutex());
+        std::fprintf(stderr, "[%s] %.*s\n", LevelName(level),
+                     static_cast<int>(msg.size()), msg.data());
+      }) {}
+
+Logger& Logger::Instance() {
+  static Logger* logger = new Logger();
+  return *logger;
+}
+
+Logger::Sink Logger::SwapSink(Sink sink) {
+  Sink old = std::move(sink_);
+  sink_ = std::move(sink);
+  return old;
+}
+
+void Logger::Write(LogLevel level, std::string_view msg) {
+  if (Enabled(level) && sink_) {
+    sink_(level, msg);
+  }
+}
+
+}  // namespace vino

@@ -1,0 +1,74 @@
+// Minimal leveled logger. Kernel-style: no allocation-free guarantee claimed,
+// but cheap when the level is filtered out. Tests can capture output by
+// swapping the sink.
+
+#ifndef VINOLITE_SRC_BASE_LOG_H_
+#define VINOLITE_SRC_BASE_LOG_H_
+
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace vino {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& Instance();
+
+  void SetMinLevel(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >= min_level_.load(std::memory_order_relaxed);
+  }
+
+  // Replaces the sink; returns the previous one. Not thread-safe with
+  // concurrent logging — intended for test setup.
+  Sink SwapSink(Sink sink);
+
+  void Write(LogLevel level, std::string_view msg);
+
+ private:
+  Logger();
+
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kWarn)};
+  Sink sink_;
+};
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+    stream_ << file << ":" << line << ": ";
+  }
+  ~LogMessage() { Logger::Instance().Write(level_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define VINO_LOG(level)                                             \
+  if (!::vino::Logger::Instance().Enabled(level)) {                 \
+  } else                                                            \
+    ::vino::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define VINO_LOG_DEBUG VINO_LOG(::vino::LogLevel::kDebug)
+#define VINO_LOG_INFO VINO_LOG(::vino::LogLevel::kInfo)
+#define VINO_LOG_WARN VINO_LOG(::vino::LogLevel::kWarn)
+#define VINO_LOG_ERROR VINO_LOG(::vino::LogLevel::kError)
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_LOG_H_

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generator for workload generation.
+// xoshiro256** — fast, reproducible, no global state.
+
+#ifndef VINOLITE_SRC_BASE_RNG_H_
+#define VINOLITE_SRC_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "src/base/hash.h"
+
+namespace vino {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    // Seed all four lanes via splitmix so no state is all-zero.
+    uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ull;
+      lane = MixU64(x);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_RNG_H_

@@ -1,0 +1,50 @@
+#include "src/base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vino {
+
+TrimmedStats ComputeTrimmedStats(std::vector<double> samples, double trim_fraction) {
+  TrimmedStats out;
+  out.samples_total = samples.size();
+  if (samples.empty()) {
+    return out;
+  }
+  if (trim_fraction < 0.0) {
+    trim_fraction = 0.0;
+  }
+  if (trim_fraction > 0.49) {
+    trim_fraction = 0.49;
+  }
+
+  std::sort(samples.begin(), samples.end());
+  const size_t drop = static_cast<size_t>(
+      static_cast<double>(samples.size()) * trim_fraction);
+  const size_t begin = drop;
+  const size_t end = samples.size() - drop;
+  // Trimming never removes everything: with drop < size/2, end > begin.
+  const size_t n = end - begin;
+
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += samples[i];
+  }
+  const double mean = sum / static_cast<double>(n);
+
+  double sq = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const double d = samples[i] - mean;
+    sq += d * d;
+  }
+  const double var = (n > 1) ? sq / static_cast<double>(n - 1) : 0.0;
+
+  out.mean = mean;
+  out.stddev = std::sqrt(var);
+  out.min = samples[begin];
+  out.max = samples[end - 1];
+  out.samples_used = n;
+  return out;
+}
+
+}  // namespace vino

@@ -1,0 +1,48 @@
+// Measurement statistics following the paper's methodology (§4):
+// "To reduce the sensitivity of our results to cache effects, we drop
+//  outliers by eliminating the top 10% and bottom 10% of the measurements
+//  before computing the means and standard deviations."
+
+#ifndef VINOLITE_SRC_BASE_STATS_H_
+#define VINOLITE_SRC_BASE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vino {
+
+struct TrimmedStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  size_t samples_used = 0;  // After trimming.
+  size_t samples_total = 0;
+};
+
+// Computes mean/stddev after discarding the top and bottom `trim_fraction`
+// of the sorted samples (default 10% each side, as in the paper).
+// An empty input yields all-zero stats.
+[[nodiscard]] TrimmedStats ComputeTrimmedStats(std::vector<double> samples,
+                                               double trim_fraction = 0.10);
+
+// Incremental sample collector used by the benchmark harness.
+class SampleSet {
+ public:
+  explicit SampleSet(size_t reserve = 0) { samples_.reserve(reserve); }
+
+  void Add(double v) { samples_.push_back(v); }
+  [[nodiscard]] size_t size() const { return samples_.size(); }
+  [[nodiscard]] TrimmedStats Trimmed(double trim_fraction = 0.10) const {
+    return ComputeTrimmedStats(samples_, trim_fraction);
+  }
+  void Clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_STATS_H_

@@ -1,0 +1,63 @@
+#include "src/base/status.h"
+
+namespace vino {
+
+std::string_view StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "OK";
+    case Status::kInvalidArgs:
+      return "INVALID_ARGS";
+    case Status::kNotFound:
+      return "NOT_FOUND";
+    case Status::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case Status::kPermissionDenied:
+      return "PERMISSION_DENIED";
+    case Status::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case Status::kNoMemory:
+      return "NO_MEMORY";
+    case Status::kUnavailable:
+      return "UNAVAILABLE";
+    case Status::kInternal:
+      return "INTERNAL";
+    case Status::kNotSupported:
+      return "NOT_SUPPORTED";
+    case Status::kBusy:
+      return "BUSY";
+    case Status::kTxnAborted:
+      return "TXN_ABORTED";
+    case Status::kTxnTimedOut:
+      return "TXN_TIMED_OUT";
+    case Status::kTxnLimitExceeded:
+      return "TXN_LIMIT_EXCEEDED";
+    case Status::kNoTransaction:
+      return "NO_TRANSACTION";
+    case Status::kBadSignature:
+      return "BAD_SIGNATURE";
+    case Status::kNotInstrumented:
+      return "NOT_INSTRUMENTED";
+    case Status::kIllegalCall:
+      return "ILLEGAL_CALL";
+    case Status::kRestrictedPoint:
+      return "RESTRICTED_POINT";
+    case Status::kBadGraft:
+      return "BAD_GRAFT";
+    case Status::kSfiTrap:
+      return "SFI_TRAP";
+    case Status::kSfiBadCall:
+      return "SFI_BAD_CALL";
+    case Status::kSfiFuelExhausted:
+      return "SFI_FUEL_EXHAUSTED";
+    case Status::kSfiBadOpcode:
+      return "SFI_BAD_OPCODE";
+    case Status::kLimitExceeded:
+      return "LIMIT_EXCEEDED";
+    case Status::kBadResult:
+      return "BAD_RESULT";
+  }
+  return "UNKNOWN";
+}
+
+}  // namespace vino

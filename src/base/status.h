@@ -1,0 +1,111 @@
+// Status and Result types used across vinolite.
+//
+// Kernel-style error handling: no exceptions on normal control flow. Every
+// fallible operation returns a Status or a Result<T> (a tagged union of a
+// value and a Status). Statuses are small enums so they can cross the
+// graft/kernel boundary as plain integers.
+
+#ifndef VINOLITE_SRC_BASE_STATUS_H_
+#define VINOLITE_SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace vino {
+
+// Error codes. Values are stable; grafts see them as raw integers.
+enum class Status : int32_t {
+  kOk = 0,
+  // Generic failures.
+  kInvalidArgs = -1,
+  kNotFound = -2,
+  kAlreadyExists = -3,
+  kPermissionDenied = -4,
+  kOutOfRange = -5,
+  kNoMemory = -6,
+  kUnavailable = -7,
+  kInternal = -8,
+  kNotSupported = -9,
+  kBusy = -10,
+
+  // Transaction outcomes.
+  kTxnAborted = -20,      // Transaction was aborted (undo replayed).
+  kTxnTimedOut = -21,     // Aborted because a lock waiter's time-out fired.
+  kTxnLimitExceeded = -22,  // Aborted because a resource limit was exceeded.
+  kNoTransaction = -23,   // Operation requires an active transaction.
+
+  // Graft loading / linking failures.
+  kBadSignature = -30,     // Digital signature did not verify.
+  kNotInstrumented = -31,  // Program was never processed by MiSFIT.
+  kIllegalCall = -32,      // Direct call target is not graft-callable.
+  kRestrictedPoint = -33,  // Graft point requires privilege.
+  kBadGraft = -34,         // Malformed graft program.
+
+  // SFI virtual machine traps.
+  kSfiTrap = -40,        // Load/store outside the sandbox (unsafe code only).
+  kSfiBadCall = -41,     // Indirect call target not graft-callable.
+  kSfiFuelExhausted = -42,  // Instruction budget consumed (preemption).
+  kSfiBadOpcode = -43,   // Undefined or malformed instruction.
+
+  // Resource accounting.
+  kLimitExceeded = -50,  // Charge would exceed the account's limit.
+
+  // Graft result validation.
+  kBadResult = -60,  // Graft returned a value that failed validation.
+};
+
+// Human-readable name for diagnostics and logs.
+std::string_view StatusName(Status s);
+
+[[nodiscard]] constexpr bool IsOk(Status s) { return s == Status::kOk; }
+
+// Result<T>: either a T or a non-kOk Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit construction from values and errors keeps call sites terse,
+  // mirroring fit::result / zx::result usage.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status error) : repr_(error) {         // NOLINT(google-explicit-constructor)
+    assert(error != Status::kOk && "Result error must not be kOk");
+  }
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::kOk : std::get<Status>(repr_);
+  }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_STATUS_H_

@@ -1,0 +1,109 @@
+#include "src/fs/buffer_cache.h"
+
+namespace vino {
+
+BufferCache::BufferCache(size_t capacity, size_t readahead_quota, SimDisk* disk,
+                         ManualClock* clock)
+    : capacity_(capacity),
+      readahead_quota_(readahead_quota < capacity ? readahead_quota : capacity),
+      disk_(disk),
+      clock_(clock) {}
+
+void BufferCache::ReleaseQuota(Buffer* buffer) {
+  if (buffer->quota_held) {
+    buffer->quota_held = false;
+    --prefetch_live_;
+  }
+}
+
+bool BufferCache::EnsureRoom() {
+  if (buffers_.size() < capacity_) {
+    return true;
+  }
+  // Evict the coldest buffer whose load has completed; loading buffers are
+  // pinned (the disk owns them).
+  const Micros now = clock_->NowMicros();
+  for (Buffer& candidate : lru_) {
+    if (candidate.ready_at <= now) {
+      Buffer* victim = &candidate;
+      ReleaseQuota(victim);
+      lru_.Remove(victim);
+      buffers_.erase(victim->block);  // Frees it.
+      return true;
+    }
+  }
+  return false;
+}
+
+Result<BufferCache::AccessResult> BufferCache::Read(BlockId block) {
+  ++stats_.demand_reads;
+  const Micros now = clock_->NowMicros();
+
+  if (const auto it = buffers_.find(block); it != buffers_.end()) {
+    Buffer* buffer = it->second.get();
+    AccessResult result;
+    result.hit = true;
+    if (buffer->ready_at > now) {
+      // Prefetch still in flight: stall only for the remainder.
+      result.stall = buffer->ready_at - now;
+      clock_->Advance(result.stall);
+      ++stats_.prefetch_hits;
+    } else {
+      ++stats_.hits;
+    }
+    // Consuming a prefetched buffer returns its quota.
+    ReleaseQuota(buffer);
+    lru_.Remove(buffer);
+    lru_.PushBack(buffer);
+    stats_.total_stall += result.stall;
+    return result;
+  }
+
+  // Miss: synchronous demand fetch.
+  ++stats_.misses;
+  if (!EnsureRoom()) {
+    return Status::kNoMemory;
+  }
+  const Result<Micros> stall = disk_->SubmitAndWait(block);
+  if (!stall.ok()) {
+    return stall.status();
+  }
+  auto buffer = std::make_unique<Buffer>();
+  buffer->block = block;
+  buffer->ready_at = clock_->NowMicros();
+  lru_.PushBack(buffer.get());
+  buffers_.emplace(block, std::move(buffer));
+
+  AccessResult result;
+  result.hit = false;
+  result.stall = stall.value();
+  stats_.total_stall += result.stall;
+  return result;
+}
+
+bool BufferCache::Prefetch(BlockId block) {
+  if (buffers_.count(block) != 0) {
+    return true;  // Already cached or loading.
+  }
+  if (prefetch_live_ >= readahead_quota_ || !EnsureRoom()) {
+    ++stats_.prefetches_denied;
+    return false;
+  }
+  const Result<Micros> done = disk_->Submit(block);
+  if (!done.ok()) {
+    ++stats_.prefetches_denied;
+    return false;
+  }
+  auto buffer = std::make_unique<Buffer>();
+  buffer->block = block;
+  buffer->ready_at = done.value();
+  buffer->from_prefetch = true;
+  buffer->quota_held = true;
+  ++prefetch_live_;
+  lru_.PushBack(buffer.get());
+  buffers_.emplace(block, std::move(buffer));
+  ++stats_.prefetches_issued;
+  return true;
+}
+
+}  // namespace vino

@@ -1,0 +1,91 @@
+// Block buffer cache with asynchronous prefetch.
+//
+// Demand reads wait for the disk; prefetches are issued asynchronously and
+// only stall a later reader by whatever service time remains. The number of
+// in-flight prefetch buffers is capped by a *global* read-ahead quota — the
+// paper's non-graftable buffer allocation policy ("if a graft of the
+// compute-ra function asks for 100MB to be prefetched, it will not steal
+// all of the system's memory pages", §4.1.2).
+
+#ifndef VINOLITE_SRC_FS_BUFFER_CACHE_H_
+#define VINOLITE_SRC_FS_BUFFER_CACHE_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "src/base/clock.h"
+#include "src/base/intrusive_list.h"
+#include "src/fs/disk.h"
+
+namespace vino {
+
+class BufferCache {
+ public:
+  // `capacity` total buffers, of which at most `readahead_quota` may be
+  // occupied by not-yet-consumed prefetches.
+  BufferCache(size_t capacity, size_t readahead_quota, SimDisk* disk,
+              ManualClock* clock);
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  struct AccessResult {
+    bool hit = false;        // Data was already valid (or loading) in cache.
+    Micros stall = 0;        // Time the caller waited (clock was advanced).
+  };
+
+  // Demand read: returns once the block is in cache, advancing the clock by
+  // the stall. A block still loading from a prefetch stalls only for the
+  // remaining service time.
+  [[nodiscard]] Result<AccessResult> Read(BlockId block);
+
+  // Asynchronous prefetch. Returns true if issued (or already cached),
+  // false if the read-ahead quota or cache capacity is exhausted — the
+  // caller keeps the request queued and retries later.
+  bool Prefetch(BlockId block);
+
+  [[nodiscard]] bool Cached(BlockId block) const {
+    return buffers_.count(block) != 0;
+  }
+  [[nodiscard]] size_t size() const { return buffers_.size(); }
+  [[nodiscard]] size_t capacity() const { return capacity_; }
+  [[nodiscard]] size_t prefetches_in_flight() const { return prefetch_live_; }
+
+  struct Stats {
+    uint64_t demand_reads = 0;
+    uint64_t hits = 0;             // Valid at access time.
+    uint64_t prefetch_hits = 0;    // Loading at access time (partial win).
+    uint64_t misses = 0;
+    uint64_t prefetches_issued = 0;
+    uint64_t prefetches_denied = 0;  // Quota/capacity refusals.
+    Micros total_stall = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Buffer : ListNode {
+    BlockId block = 0;
+    Micros ready_at = 0;     // Load completes at this virtual time.
+    bool from_prefetch = false;
+    bool quota_held = false;  // Still counted against the read-ahead quota.
+  };
+
+  // Reclaims quota held by prefetched buffers whose load has completed and
+  // that have been consumed, and evicts LRU buffers to make room.
+  bool EnsureRoom();
+  void ReleaseQuota(Buffer* buffer);
+
+  const size_t capacity_;
+  const size_t readahead_quota_;
+  SimDisk* disk_;
+  ManualClock* clock_;
+
+  std::unordered_map<BlockId, std::unique_ptr<Buffer>> buffers_;
+  IntrusiveList<Buffer> lru_;  // Front = coldest.
+  size_t prefetch_live_ = 0;   // Buffers holding read-ahead quota.
+  Stats stats_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_FS_BUFFER_CACHE_H_

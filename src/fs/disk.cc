@@ -1,0 +1,58 @@
+#include "src/fs/disk.h"
+
+namespace vino {
+
+SimDisk::SimDisk(DiskParams params, ManualClock* clock)
+    : params_(params), clock_(clock) {}
+
+Micros SimDisk::ServiceTime(BlockId head, BlockId block) const {
+  // Seek time scales with the square root of distance (a standard
+  // approximation of arm acceleration), normalized so an average-distance
+  // seek (one third of the disk) costs avg_seek.
+  const uint64_t distance = head > block ? head - block : block - head;
+  Micros seek = 0;
+  if (distance > 0) {
+    const double frac =
+        static_cast<double>(distance) / static_cast<double>(params_.block_count);
+    const double avg_frac = 1.0 / 3.0;
+    const double scale = frac / avg_frac;
+    seek = static_cast<Micros>(static_cast<double>(params_.avg_seek) *
+                               (scale < 1.0 ? (0.3 + 0.7 * scale) : 1.0));
+  }
+  // Half a rotation of latency on average.
+  const Micros rotation =
+      static_cast<Micros>(60.0 * 1e6 / (2.0 * static_cast<double>(params_.rpm)));
+  const Micros transfer = static_cast<Micros>(
+      static_cast<double>(params_.block_size) * 1e6 /
+      static_cast<double>(params_.transfer_bytes_per_sec));
+  return seek + rotation + transfer;
+}
+
+Result<Micros> SimDisk::Submit(BlockId block) {
+  if (block >= params_.block_count) {
+    return Status::kOutOfRange;
+  }
+  const Micros now = clock_->NowMicros();
+  const Micros start = busy_until_ > now ? busy_until_ : now;
+  const Micros service = ServiceTime(head_, block);
+  busy_until_ = start + service;
+  head_ = block;
+
+  ++stats_.requests;
+  stats_.total_service += service;
+  stats_.total_queue_delay += start - now;
+  return busy_until_;
+}
+
+Result<Micros> SimDisk::SubmitAndWait(BlockId block) {
+  const Result<Micros> done = Submit(block);
+  if (!done.ok()) {
+    return done;
+  }
+  const Micros now = clock_->NowMicros();
+  const Micros stall = done.value() > now ? done.value() - now : 0;
+  clock_->Advance(stall);
+  return stall;
+}
+
+}  // namespace vino

@@ -1,0 +1,72 @@
+// Parametric disk model in virtual time.
+//
+// The paper's testbed used a 5400 RPM Fujitsu M2694ESA (9.5 ms average
+// seek, 1080 MB formatted); those are this model's defaults. The model is a
+// single-head queueing server: a request's service time is seek (scaled by
+// distance) + half-rotation latency + transfer, and requests serialize on
+// the device. Completion times are computed against a ManualClock so
+// workloads are deterministic.
+
+#ifndef VINOLITE_SRC_FS_DISK_H_
+#define VINOLITE_SRC_FS_DISK_H_
+
+#include <cstdint>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+
+namespace vino {
+
+using BlockId = uint64_t;
+
+struct DiskParams {
+  uint64_t block_size = 4096;       // Matches the paper's FS block size.
+  uint64_t block_count = 262144;    // 1 GiB with 4 KiB blocks.
+  Micros avg_seek = 9500;           // 9.5 ms average seek.
+  uint32_t rpm = 5400;              // Half-rotation latency = 5.56 ms.
+  uint64_t transfer_bytes_per_sec = 4 * 1024 * 1024;  // Mid-90s media rate.
+};
+
+class SimDisk {
+ public:
+  SimDisk(DiskParams params, ManualClock* clock);
+
+  [[nodiscard]] const DiskParams& params() const { return params_; }
+
+  // Submits a block read/write. Returns the virtual time at which the
+  // request completes, accounting for the device being busy with earlier
+  // requests. Fails with kOutOfRange for invalid blocks.
+  [[nodiscard]] Result<Micros> Submit(BlockId block);
+
+  // Convenience: submit and advance the clock to completion ("synchronous
+  // read"). Returns the stall time from now until completion.
+  [[nodiscard]] Result<Micros> SubmitAndWait(BlockId block);
+
+  // True once the device has no request in flight at the current time.
+  [[nodiscard]] bool Idle() const {
+    return busy_until_ <= clock_->NowMicros();
+  }
+  [[nodiscard]] Micros busy_until() const { return busy_until_; }
+
+  // Pure cost model: service time for a request at `block` given the head
+  // is at `head` (no queueing). Exposed for cost-benefit analysis.
+  [[nodiscard]] Micros ServiceTime(BlockId head, BlockId block) const;
+
+  struct Stats {
+    uint64_t requests = 0;
+    Micros total_service = 0;
+    Micros total_queue_delay = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  const DiskParams params_;
+  ManualClock* clock_;
+  BlockId head_ = 0;
+  Micros busy_until_ = 0;
+  Stats stats_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_FS_DISK_H_

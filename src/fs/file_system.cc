@@ -1,0 +1,436 @@
+#include "src/fs/file_system.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/base/log.h"
+#include "src/resource/account.h"
+
+namespace vino {
+
+// --- OpenFile ------------------------------------------------------------
+
+OpenFile::OpenFile(FileId file_id, uint64_t open_id, FlatFileSystem* fs,
+                   TxnManager* txn_manager, const HostCallTable* host,
+                   GraftNamespace* ns)
+    : file_id_(file_id),
+      open_id_(open_id),
+      fs_(fs),
+      readahead_point_(
+          "openfile." + std::to_string(open_id) + ".compute-ra",
+          // Default policy, expressed through the same point so the "VINO
+          // path" carries the indirection the paper measures.
+          [this](std::span<const uint64_t> args) -> uint64_t {
+            return DefaultReadAhead(args.size() > 0 ? args[0] : 0,
+                                    args.size() > 1 ? args[1] : 0);
+          },
+          [] {
+            FunctionGraftPoint::Config config;
+            // The graft's return value is a count of extents it wrote to
+            // its arena; anything above the protocol cap is invalid.
+            config.validator = [](uint64_t result, std::span<const uint64_t>) {
+              return result <= kRaMaxOutputPairs;
+            };
+            return config;
+          }(),
+          txn_manager, host, ns),
+      stream_point_(
+          "openfile." + std::to_string(open_id) + ".stream",
+          // Default transform: identity (the kernel's plain bcopy). The
+          // actual copy happens in TransformChunk; the default has nothing
+          // to do beyond existing as the measured indirection.
+          [](std::span<const uint64_t>) -> uint64_t { return 0; },
+          FunctionGraftPoint::Config{}, txn_manager, host, ns) {}
+
+uint64_t OpenFile::DefaultReadAhead(uint64_t read_offset, uint64_t read_length) {
+  // Sequential detection: this read continues exactly where the previous
+  // one ended. Non-sequential access gets no prefetch — the behaviour the
+  // paper's random-access application suffers under.
+  if (last_length_ == 0 || read_offset != last_offset_ + last_length_) {
+    return 0;
+  }
+  const uint64_t block_size = fs_->disk().params().block_size;
+  const uint64_t next = read_offset + read_length;
+  uint64_t enqueued = 0;
+  for (uint32_t i = 0; i < sequential_blocks_; ++i) {
+    const uint64_t extent_offset = next + i * block_size;
+    if (extent_offset >= fs_->FileSize(file_id_)) {
+      break;
+    }
+    EnqueueExtent(extent_offset, block_size);
+    ++enqueued;
+  }
+  return enqueued;
+}
+
+void OpenFile::EnqueueExtent(uint64_t extent_offset, uint64_t extent_length) {
+  const uint64_t block_size = fs_->disk().params().block_size;
+  const uint64_t first = extent_offset / block_size;
+  const uint64_t last = (extent_offset + extent_length - 1) / block_size;
+  for (uint64_t b = first; b <= last; ++b) {
+    Result<BlockId> block = fs_->BlockFor(file_id_, b * block_size);
+    if (block.ok()) {
+      prefetch_queue_.push_back(block.value());
+      ++stats_.prefetches_enqueued;
+    }
+  }
+}
+
+void OpenFile::HarvestGraftExtents(uint64_t count) {
+  std::shared_ptr<Graft> graft = readahead_point_.current_graft();
+  if (graft == nullptr || count == 0) {
+    return;
+  }
+  if (count > kRaMaxOutputPairs) {
+    count = kRaMaxOutputPairs;
+  }
+  MemoryImage& arena = graft->image();
+  const uint64_t out_base = arena.arena_base() + kRaOutputOffset;
+  const uint64_t file_size = fs_->FileSize(file_id_);
+  for (uint64_t i = 0; i < count; ++i) {
+    const Result<uint64_t> extent_offset = arena.ReadU64(out_base + i * 16);
+    const Result<uint64_t> extent_length = arena.ReadU64(out_base + i * 16 + 8);
+    if (!extent_offset.ok() || !extent_length.ok()) {
+      break;
+    }
+    // Kernel-side validation of graft output: extents must be non-empty and
+    // inside the file. Bad extents are dropped, not fatal (§4.2's "valid or
+    // detectably invalid" requirement).
+    if (extent_length.value() == 0 || extent_offset.value() >= file_size ||
+        extent_length.value() > file_size - extent_offset.value()) {
+      ++stats_.prefetch_extents_rejected;
+      continue;
+    }
+    EnqueueExtent(extent_offset.value(), extent_length.value());
+  }
+}
+
+void OpenFile::DrainPrefetchQueue() {
+  // Issue in FIFO order while the global read-ahead quota lets us; stop at
+  // the first refusal (quota exhausted) and retry on the next read.
+  while (!prefetch_queue_.empty()) {
+    const BlockId block = prefetch_queue_.front();
+    if (!fs_->cache().Prefetch(block)) {
+      return;
+    }
+    prefetch_queue_.pop_front();
+  }
+}
+
+Result<OpenFile::ReadResult> OpenFile::Read(uint64_t read_offset,
+                                            uint64_t read_length) {
+  const uint64_t file_size = fs_->FileSize(file_id_);
+  if (read_length == 0 || read_offset >= file_size) {
+    return Status::kOutOfRange;
+  }
+  if (read_length > file_size - read_offset) {
+    read_length = file_size - read_offset;
+  }
+
+  ++stats_.reads;
+  const uint64_t block_size = fs_->disk().params().block_size;
+  ReadResult result;
+  result.bytes_read = read_length;
+
+  const uint64_t first = read_offset / block_size;
+  const uint64_t last = (read_offset + read_length - 1) / block_size;
+  for (uint64_t b = first; b <= last; ++b) {
+    Result<BlockId> block = fs_->BlockFor(file_id_, b * block_size);
+    if (!block.ok()) {
+      return block.status();
+    }
+    Result<BufferCache::AccessResult> access = fs_->cache().Read(block.value());
+    if (!access.ok()) {
+      return access.status();
+    }
+    if (b == first) {
+      result.cache_hit = access->hit;
+    }
+    result.stall += access->stall;
+  }
+  stats_.total_stall += result.stall;
+
+  // Consult the read-ahead policy (grafted or default).
+  std::shared_ptr<Graft> graft = readahead_point_.current_graft();
+  uint64_t args[6] = {read_offset, read_length, 0, 0, 0, 0};
+  if (graft != nullptr && !graft->is_native()) {
+    MemoryImage& arena = graft->image();
+    const uint64_t hint_base = arena.arena_base() + kRaHintOffset;
+    const Result<uint64_t> hint_count = arena.ReadU64(hint_base);
+    args[2] = hint_base + 8;
+    args[3] = hint_count.ok() ? hint_count.value() : 0;
+    args[4] = arena.arena_base() + kRaOutputOffset;
+    args[5] = kRaMaxOutputPairs;
+  }
+  const uint64_t extent_count = readahead_point_.Invoke(args);
+  // Harvest only if the graft survived the invocation: after an abort the
+  // point forcibly removed it and the returned count belongs to the
+  // *default* policy (which enqueued directly), not to arena contents.
+  if (graft != nullptr && readahead_point_.current_graft() == graft) {
+    HarvestGraftExtents(extent_count);
+  }
+  DrainPrefetchQueue();
+
+  last_offset_ = read_offset;
+  last_length_ = read_length;
+  offset_ = read_offset + read_length;
+  return result;
+}
+
+Status OpenFile::TransformChunk(uint8_t* data, uint64_t length,
+                                bool write_direction) {
+  if (length > kStreamChunk) {
+    return Status::kInvalidArgs;
+  }
+  std::shared_ptr<Graft> graft = stream_point_.current_graft();
+  if (graft == nullptr) {
+    // Identity default — the chunk passes through untransformed. The
+    // consultation still goes through the point so the indirection is
+    // uniform with the grafted case.
+    (void)stream_point_.Invoke({});
+    return Status::kOk;
+  }
+
+  MemoryImage& arena = graft->image();
+  const uint64_t in_addr = arena.arena_base() + kStreamInOffset;
+  const uint64_t out_addr = arena.arena_base() + kStreamOutOffset;
+  Status s = arena.Write(in_addr, data, length);
+  if (!IsOk(s)) {
+    return s;
+  }
+  // Pre-fill the output with the input: if the graft aborts mid-transform
+  // (and is forcibly removed), the stream degrades to identity instead of
+  // delivering a torn chunk.
+  s = arena.Write(out_addr, data, length);
+  if (!IsOk(s)) {
+    return s;
+  }
+
+  const uint64_t args[4] = {in_addr, out_addr, length,
+                            write_direction ? 1ull : 0ull};
+  const uint64_t aborts_before = stream_point_.stats().graft_aborts;
+  (void)stream_point_.Invoke(args);
+  if (stream_point_.stats().graft_aborts != aborts_before) {
+    return Status::kOk;  // Aborted: identity (data already holds the input).
+  }
+  return arena.Read(out_addr, data, length);
+}
+
+Result<OpenFile::ReadResult> OpenFile::ReadBytes(uint64_t read_offset,
+                                                 uint64_t length, uint8_t* out) {
+  // The cost path (cache/disk/readahead) is identical to Read().
+  Result<ReadResult> result = Read(read_offset, length);
+  if (!result.ok()) {
+    return result;
+  }
+  const uint64_t block_size = fs_->disk().params().block_size;
+
+  uint64_t done = 0;
+  while (done < result->bytes_read) {
+    const uint64_t n =
+        std::min<uint64_t>(kStreamChunk, result->bytes_read - done);
+    uint8_t chunk[kStreamChunk];
+    // Gather from the content store.
+    uint64_t gathered = 0;
+    while (gathered < n) {
+      const uint64_t at = read_offset + done + gathered;
+      Result<BlockId> block = fs_->BlockFor(file_id_, at);
+      if (!block.ok()) {
+        return block.status();
+      }
+      const uint64_t in_block = at % block_size;
+      const uint64_t take = std::min<uint64_t>(block_size - in_block, n - gathered);
+      const uint8_t* data = fs_->BlockData(block.value());
+      if (data != nullptr) {
+        std::memcpy(chunk + gathered, data + in_block, take);
+      } else {
+        std::memset(chunk + gathered, 0, take);
+      }
+      gathered += take;
+    }
+    const Status s = TransformChunk(chunk, n, /*write_direction=*/false);
+    if (!IsOk(s)) {
+      return s;
+    }
+    std::memcpy(out + done, chunk, n);
+    done += n;
+  }
+  return result;
+}
+
+Result<OpenFile::ReadResult> OpenFile::WriteBytes(uint64_t write_offset,
+                                                  uint64_t length,
+                                                  const uint8_t* data) {
+  const uint64_t file_size = fs_->FileSize(file_id_);
+  if (length == 0 || write_offset >= file_size) {
+    return Status::kOutOfRange;
+  }
+  if (length > file_size - write_offset) {
+    length = file_size - write_offset;
+  }
+  const uint64_t block_size = fs_->disk().params().block_size;
+
+  ReadResult result;
+  result.bytes_read = length;
+  uint64_t done = 0;
+  while (done < length) {
+    const uint64_t n = std::min<uint64_t>(kStreamChunk, length - done);
+    uint8_t chunk[kStreamChunk];
+    std::memcpy(chunk, data + done, n);
+    const Status s = TransformChunk(chunk, n, /*write_direction=*/true);
+    if (!IsOk(s)) {
+      return s;
+    }
+    // Scatter into the content store; write-behind I/O (no stall).
+    uint64_t scattered = 0;
+    while (scattered < n) {
+      const uint64_t at = write_offset + done + scattered;
+      Result<BlockId> block = fs_->BlockFor(file_id_, at);
+      if (!block.ok()) {
+        return block.status();
+      }
+      const uint64_t in_block = at % block_size;
+      const uint64_t take =
+          std::min<uint64_t>(block_size - in_block, n - scattered);
+      std::memcpy(fs_->MutableBlockData(block.value()) + in_block,
+                  chunk + scattered, take);
+      (void)fs_->disk().Submit(block.value());  // Async write-behind.
+      scattered += take;
+    }
+    done += n;
+  }
+  offset_ = write_offset + length;
+  return result;
+}
+
+Status OpenFile::Seek(uint64_t new_offset) {
+  if (new_offset > fs_->FileSize(file_id_)) {
+    return Status::kOutOfRange;
+  }
+  offset_ = new_offset;
+  return Status::kOk;
+}
+
+Status OpenFile::WriteHints(
+    const std::vector<std::pair<uint64_t, uint64_t>>& hints) {
+  std::shared_ptr<Graft> graft = readahead_point_.current_graft();
+  if (graft == nullptr) {
+    return Status::kUnavailable;  // No graft to share a buffer with.
+  }
+  MemoryImage& arena = graft->image();
+  const uint64_t hint_base = arena.arena_base() + kRaHintOffset;
+  const uint64_t max_pairs = (kRaOutputOffset - kRaHintOffset - 8) / 16;
+  const uint64_t count =
+      hints.size() < max_pairs ? hints.size() : max_pairs;
+  Status s = arena.WriteU64(hint_base, count);
+  for (uint64_t i = 0; IsOk(s) && i < count; ++i) {
+    s = arena.WriteU64(hint_base + 8 + i * 16, hints[i].first);
+    if (IsOk(s)) {
+      s = arena.WriteU64(hint_base + 16 + i * 16, hints[i].second);
+    }
+  }
+  return s;
+}
+
+// --- FlatFileSystem --------------------------------------------------------
+
+FlatFileSystem::FlatFileSystem(SimDisk* disk, BufferCache* cache,
+                               TxnManager* txn_manager, const HostCallTable* host,
+                               GraftNamespace* ns)
+    : disk_(disk), cache_(cache), txn_manager_(txn_manager), host_(host), ns_(ns) {}
+
+Result<FileId> FlatFileSystem::CreateFile(const std::string& name,
+                                          uint64_t size_bytes) {
+  if (name.empty() || size_bytes == 0) {
+    return Status::kInvalidArgs;
+  }
+  if (by_name_.count(name) != 0) {
+    return Status::kAlreadyExists;
+  }
+  const uint64_t block_size = disk_->params().block_size;
+  const uint64_t blocks = (size_bytes + block_size - 1) / block_size;
+  if (next_free_block_ + blocks > disk_->params().block_count) {
+    return Status::kNoMemory;
+  }
+
+  const FileId id = next_file_id_++;
+  File file;
+  file.name = name;
+  file.size = size_bytes;
+  file.first_block = next_free_block_;
+  file.block_count = blocks;
+  next_free_block_ += blocks;
+  files_.emplace(id, std::move(file));
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<FileId> FlatFileSystem::LookupFile(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+uint64_t FlatFileSystem::FileSize(FileId id) const {
+  const auto it = files_.find(id);
+  return it == files_.end() ? 0 : it->second.size;
+}
+
+Result<BlockId> FlatFileSystem::BlockFor(FileId id, uint64_t offset) const {
+  const auto it = files_.find(id);
+  if (it == files_.end()) {
+    return Status::kNotFound;
+  }
+  const File& file = it->second;
+  if (offset >= file.size) {
+    return Status::kOutOfRange;
+  }
+  return file.first_block + offset / disk_->params().block_size;
+}
+
+const uint8_t* FlatFileSystem::BlockData(BlockId block) const {
+  const auto it = content_.find(block);
+  return it == content_.end() ? nullptr : it->second.data();
+}
+
+uint8_t* FlatFileSystem::MutableBlockData(BlockId block) {
+  std::vector<uint8_t>& data = content_[block];
+  if (data.empty()) {
+    data.assign(disk_->params().block_size, 0);
+  }
+  return data.data();
+}
+
+Result<OpenFile*> FlatFileSystem::Open(FileId id) {
+  if (files_.count(id) == 0) {
+    return Status::kNotFound;
+  }
+  const Status charge = ChargeCurrent(ResourceType::kFileHandles, 1);
+  if (!IsOk(charge)) {
+    return charge;
+  }
+  const uint64_t open_id = next_open_id_++;
+  auto open = std::make_unique<OpenFile>(id, open_id, this, txn_manager_, host_, ns_);
+  OpenFile* raw = open.get();
+  opens_.emplace(open_id, std::move(open));
+  return raw;
+}
+
+Status FlatFileSystem::Close(OpenFile* file) {
+  if (file == nullptr) {
+    return Status::kInvalidArgs;
+  }
+  const auto it = opens_.find(file->open_id());
+  if (it == opens_.end()) {
+    return Status::kNotFound;
+  }
+  ns_->Unregister(file->readahead_point().name());
+  ns_->Unregister(file->stream_point().name());
+  UnchargeCurrent(ResourceType::kFileHandles, 1);
+  opens_.erase(it);
+  return Status::kOk;
+}
+
+}  // namespace vino

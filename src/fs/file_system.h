@@ -1,0 +1,223 @@
+// Flat extent-based file system with graftable per-open-file read-ahead
+// (paper §4.1).
+//
+// "In VINO, application level file descriptors are handles for kernel level
+//  open-file objects. ... Whenever a user issues a read request, the
+//  corresponding method on the open-file handles the read, and then calls
+//  its compute-ra method to determine which (if any) additional file blocks
+//  should be prefetched. ... prefetch requests are passed to the underlying
+//  file system where they are added to a per-file prefetch queue."
+
+#ifndef VINOLITE_SRC_FS_FILE_SYSTEM_H_
+#define VINOLITE_SRC_FS_FILE_SYSTEM_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fs/buffer_cache.h"
+#include "src/fs/disk.h"
+#include "src/graft/function_point.h"
+#include "src/graft/namespace.h"
+#include "src/sfi/host.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+
+using FileId = uint64_t;
+
+// Graft-arena protocol for program-backed compute-ra grafts.
+//
+//   arena[kRaHintOffset]   u64 count, then `count` (offset, length) u64
+//                          pairs — written by the application through
+//                          OpenFile::WriteHints ("a memory buffer is shared
+//                          between the application and the read-ahead
+//                          graft").
+//   arena[kRaOutputOffset] (offset, length) u64 pairs — written by the
+//                          graft; its return value is the pair count.
+//
+// Graft arguments: r0 = read offset, r1 = read length,
+// r2 = hint list address, r3 = hint count, r4 = output address,
+// r5 = max output pairs.
+inline constexpr uint64_t kRaHintOffset = 0;
+inline constexpr uint64_t kRaOutputOffset = 16 * 1024;
+inline constexpr uint64_t kRaMaxOutputPairs = 64;
+
+// Stream-graft arena layout: input chunk, output chunk (see stream_point()).
+inline constexpr uint64_t kStreamInOffset = 32 * 1024;
+inline constexpr uint64_t kStreamOutOffset = 44 * 1024;
+inline constexpr uint64_t kStreamChunk = 8 * 1024;  // The paper's 8 KB unit.
+
+class FlatFileSystem;
+
+class OpenFile {
+ public:
+  OpenFile(FileId file_id, uint64_t open_id, FlatFileSystem* fs,
+           TxnManager* txn_manager, const HostCallTable* host, GraftNamespace* ns);
+
+  OpenFile(const OpenFile&) = delete;
+  OpenFile& operator=(const OpenFile&) = delete;
+
+  [[nodiscard]] FileId file_id() const { return file_id_; }
+  [[nodiscard]] uint64_t open_id() const { return open_id_; }
+  [[nodiscard]] uint64_t offset() const { return offset_; }
+
+  // The per-open-file read-ahead policy point, "openfile.<id>.compute-ra".
+  // The default policy prefetches ahead only on sequential access.
+  [[nodiscard]] FunctionGraftPoint& readahead_point() { return readahead_point_; }
+
+  struct ReadResult {
+    uint64_t bytes_read = 0;
+    Micros stall = 0;        // Time blocked on the disk (virtual).
+    bool cache_hit = false;  // First block came from cache.
+  };
+
+  // Reads `length` bytes at `offset` (data content is not modeled; the cost
+  // is). Runs the read, then consults compute-ra and enqueues its prefetch
+  // requests.
+  [[nodiscard]] Result<ReadResult> Read(uint64_t offset, uint64_t length);
+
+  // Sequential read at the current cursor.
+  [[nodiscard]] Result<ReadResult> Read(uint64_t length) {
+    return Read(offset_, length);
+  }
+  Status Seek(uint64_t offset);
+
+  // Application hint channel: (offset, length) pairs describing upcoming
+  // reads, mirrored into the graft arena for the compute-ra graft.
+  Status WriteHints(const std::vector<std::pair<uint64_t, uint64_t>>& hints);
+
+  // --- Data path with stream grafts (paper §4.4) ----------------------
+  // "A stream graft is used to transform a data stream as it passes
+  //  through the kernel" — encryption, compression, logging. The point
+  //  "openfile.<id>.stream" transforms each chunk as it is copied between
+  //  kernel buffers and the application; the default is the identity copy
+  //  (the paper's bcopy). Graft protocol: the kernel places the chunk at
+  //  arena[kStreamInOffset] and expects the transformed bytes at
+  //  arena[kStreamOutOffset]; args are r0 = input address, r1 = output
+  //  address, r2 = byte count, r3 = direction (0 = read/copy-out,
+  //  1 = write/copy-in). The return value is ignored (the transform's
+  //  effect is the output buffer); kernel-side validation is structural
+  //  (chunk size bounded by kStreamChunk).
+  [[nodiscard]] FunctionGraftPoint& stream_point() { return stream_point_; }
+
+  // Reads `length` bytes of file *content* into `out` (must hold length),
+  // running the stream graft over each chunk on its way out of the kernel.
+  // Costs are charged exactly as Read() does.
+  [[nodiscard]] Result<ReadResult> ReadBytes(uint64_t offset, uint64_t length,
+                                             uint8_t* out);
+
+  // Writes `length` bytes through the stream graft (copy-in direction)
+  // into the file's content store, charging write I/O time.
+  [[nodiscard]] Result<ReadResult> WriteBytes(uint64_t offset, uint64_t length,
+                                              const uint8_t* data);
+
+  [[nodiscard]] size_t prefetch_queue_depth() const { return prefetch_queue_.size(); }
+
+  struct Stats {
+    uint64_t reads = 0;
+    uint64_t prefetches_enqueued = 0;
+    uint64_t prefetch_extents_rejected = 0;  // Failed validation.
+    Micros total_stall = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class FlatFileSystem;
+
+  // Default (sequential) read-ahead policy: detects offset continuity and
+  // prefetches the following blocks.
+  uint64_t DefaultReadAhead(uint64_t offset, uint64_t length);
+
+  // Unmarshals graft-produced extents, validates them, and enqueues.
+  void HarvestGraftExtents(uint64_t count);
+
+  // Issues queued prefetches while the global quota allows.
+  void DrainPrefetchQueue();
+
+  void EnqueueExtent(uint64_t extent_offset, uint64_t extent_length);
+
+  // Runs one chunk through the stream graft (or the identity default).
+  // `data` is chunk-sized scratch holding the input; the transformed bytes
+  // are written back into it.
+  Status TransformChunk(uint8_t* data, uint64_t length, bool write_direction);
+
+  const FileId file_id_;
+  const uint64_t open_id_;
+  FlatFileSystem* fs_;
+  uint64_t offset_ = 0;
+
+  uint64_t last_offset_ = 0;
+  uint64_t last_length_ = 0;
+  uint32_t sequential_blocks_ = 2;  // Default read-ahead depth.
+
+  std::deque<BlockId> prefetch_queue_;
+  FunctionGraftPoint readahead_point_;
+  FunctionGraftPoint stream_point_;
+  Stats stats_;
+};
+
+class FlatFileSystem {
+ public:
+  FlatFileSystem(SimDisk* disk, BufferCache* cache, TxnManager* txn_manager,
+                 const HostCallTable* host, GraftNamespace* ns);
+
+  FlatFileSystem(const FlatFileSystem&) = delete;
+  FlatFileSystem& operator=(const FlatFileSystem&) = delete;
+
+  // Creates a file of `size_bytes`, allocated as one contiguous extent.
+  // Fails with kNoMemory when the disk is full, kAlreadyExists on name
+  // collision.
+  Result<FileId> CreateFile(const std::string& name, uint64_t size_bytes);
+
+  [[nodiscard]] Result<FileId> LookupFile(const std::string& name) const;
+  [[nodiscard]] uint64_t FileSize(FileId id) const;
+
+  // Opens a file, producing a kernel open-file object with its own
+  // compute-ra graft point. Charges one kFileHandles unit to the current
+  // resource account.
+  Result<OpenFile*> Open(FileId id);
+  Status Close(OpenFile* file);
+
+  // Maps a byte offset to the disk block holding it; kOutOfRange past EOF.
+  [[nodiscard]] Result<BlockId> BlockFor(FileId id, uint64_t offset) const;
+
+  // Block content store (files hold real bytes; unwritten blocks read as
+  // zeros). Content is addressed by disk block id.
+  [[nodiscard]] const uint8_t* BlockData(BlockId block) const;
+  [[nodiscard]] uint8_t* MutableBlockData(BlockId block);
+
+  [[nodiscard]] SimDisk& disk() { return *disk_; }
+  [[nodiscard]] BufferCache& cache() { return *cache_; }
+
+ private:
+  friend class OpenFile;
+
+  struct File {
+    std::string name;
+    uint64_t size = 0;
+    BlockId first_block = 0;
+    uint64_t block_count = 0;
+  };
+
+  SimDisk* disk_;
+  BufferCache* cache_;
+  TxnManager* txn_manager_;
+  const HostCallTable* host_;
+  GraftNamespace* ns_;
+
+  std::unordered_map<FileId, File> files_;
+  std::unordered_map<BlockId, std::vector<uint8_t>> content_;
+  std::unordered_map<std::string, FileId> by_name_;
+  std::unordered_map<uint64_t, std::unique_ptr<OpenFile>> opens_;
+  FileId next_file_id_ = 1;
+  uint64_t next_open_id_ = 1;
+  BlockId next_free_block_ = 0;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_FS_FILE_SYSTEM_H_

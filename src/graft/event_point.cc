@@ -1,0 +1,181 @@
+#include "src/graft/event_point.h"
+
+#include <algorithm>
+
+#include "src/base/context.h"
+#include "src/base/log.h"
+#include "src/graft/namespace.h"
+#include "src/sfi/vm.h"
+
+namespace vino {
+
+EventGraftPoint::EventGraftPoint(std::string name, Config config,
+                                 TxnManager* txn_manager,
+                                 const HostCallTable* host, GraftNamespace* ns)
+    : name_(std::move(name)),
+      config_(config),
+      txn_manager_(txn_manager),
+      host_(host) {
+  if (ns != nullptr) {
+    ns->RegisterEvent(this);
+  }
+}
+
+EventGraftPoint::~EventGraftPoint() { Drain(); }
+
+Status EventGraftPoint::AddHandler(std::shared_ptr<Graft> graft, int order) {
+  if (graft == nullptr) {
+    return Status::kInvalidArgs;
+  }
+  if (config_.restricted && !graft->owner().privileged) {
+    return Status::kRestrictedPoint;
+  }
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (const Handler& h : handlers_) {
+    if (h.graft->name() == graft->name()) {
+      return Status::kAlreadyExists;
+    }
+  }
+  handlers_.push_back(Handler{std::move(graft), order});
+  std::stable_sort(handlers_.begin(), handlers_.end(),
+                   [](const Handler& a, const Handler& b) { return a.order < b.order; });
+  return Status::kOk;
+}
+
+Status EventGraftPoint::RemoveHandler(const std::string& graft_name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
+    if (it->graft->name() == graft_name) {
+      handlers_.erase(it);
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
+size_t EventGraftPoint::handler_count() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return handlers_.size();
+}
+
+std::vector<std::shared_ptr<Graft>> EventGraftPoint::SnapshotHandlers() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<std::shared_ptr<Graft>> out;
+  out.reserve(handlers_.size());
+  for (const Handler& h : handlers_) {
+    out.push_back(h.graft);
+  }
+  return out;
+}
+
+bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
+                                 std::span<const uint64_t> args) {
+  graft->CountInvocation();
+
+  TxnScope scope(*txn_manager_);
+  ScopedAccount account_swap(&graft->account());
+
+  Status failure = Status::kOk;
+  if (graft->is_native()) {
+    Result<uint64_t> r = graft->native_fn()(args, &graft->image());
+    if (!r.ok()) {
+      failure = r.status();
+    }
+    if (IsOk(failure) && TxnManager::AbortPending()) {
+      failure = scope.txn()->abort_reason();
+    }
+  } else {
+    RunOptions options;
+    options.fuel = config_.fuel;
+    options.poll_interval = config_.poll_interval;
+    options.abort_requested = [] { return TxnManager::AbortPending(); };
+    options.identity =
+        CallerIdentity{graft->owner().uid, graft->owner().privileged};
+    Vm vm(&graft->image(), host_);
+    const RunOutcome outcome = vm.Run(graft->program(), args, options);
+    if (!IsOk(outcome.status)) {
+      failure = outcome.status;
+    }
+  }
+
+  if (IsOk(failure)) {
+    const Status commit_status = scope.Commit();
+    if (IsOk(commit_status)) {
+      return true;
+    }
+    failure = commit_status;
+  } else {
+    scope.Abort(failure);
+  }
+
+  graft->CountAbort();
+  VINO_LOG_INFO << "event point '" << name_ << "': handler '" << graft->name()
+                << "' aborted: " << StatusName(failure) << "; removed";
+  // Covert denial of service (§2.5): a handler that cannot complete is
+  // removed so the event stream keeps flowing.
+  RemoveHandler(graft->name());
+  return false;
+}
+
+EventGraftPoint::DispatchOutcome EventGraftPoint::Dispatch(
+    std::span<const uint64_t> args) {
+  DispatchOutcome outcome;
+  const auto handlers = SnapshotHandlers();
+  for (const auto& graft : handlers) {
+    ++outcome.handlers_run;
+    if (!RunHandler(graft, args)) {
+      ++outcome.handler_aborts;
+    }
+  }
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  ++stats_.events;
+  stats_.handler_runs += outcome.handlers_run;
+  stats_.handler_aborts += outcome.handler_aborts;
+  return outcome;
+}
+
+void EventGraftPoint::DispatchAsync(std::vector<uint64_t> args) {
+  const auto handlers = SnapshotHandlers();
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.events;
+  }
+  for (const auto& graft : handlers) {
+    // The worker thread itself is a limited resource; bill the handler.
+    if (!IsOk(graft->account().Charge(ResourceType::kThreads, 1))) {
+      std::lock_guard<std::mutex> guard(stats_mutex_);
+      ++stats_.handlers_skipped_no_thread;
+      continue;
+    }
+    std::lock_guard<std::mutex> guard(mutex_);
+    workers_.emplace_back([this, graft, args] {
+      const bool ok = RunHandler(graft, args);
+      graft->account().Uncharge(ResourceType::kThreads, 1);
+      std::lock_guard<std::mutex> stats_guard(stats_mutex_);
+      ++stats_.handler_runs;
+      if (!ok) {
+        ++stats_.handler_aborts;
+      }
+    });
+  }
+}
+
+void EventGraftPoint::Drain() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) {
+    if (w.joinable()) {
+      w.join();
+    }
+  }
+}
+
+EventGraftPoint::Stats EventGraftPoint::stats() const {
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace vino

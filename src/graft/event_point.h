@@ -1,0 +1,115 @@
+// Event graft points (paper §3.5).
+//
+// Where a function graft replaces one member function, an event graft point
+// lets applications *add* handlers for a kernel event — a TCP connection on
+// a port, a UDP packet, a timer — to build in-kernel services (HTTP, NFS).
+// "When an event occurs in the kernel, VINO spawns a worker thread and
+// begins a transaction. It then invokes the grafted function... When the
+// grafted function returns, the worker thread commits the transaction."
+// Applications specify the order in which added handlers run.
+
+#ifndef VINOLITE_SRC_GRAFT_EVENT_POINT_H_
+#define VINOLITE_SRC_GRAFT_EVENT_POINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/graft/graft.h"
+#include "src/sfi/host.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+
+class GraftNamespace;
+
+class EventGraftPoint {
+ public:
+  struct Config {
+    bool restricted = false;
+    uint64_t fuel = 10'000'000;
+    uint32_t poll_interval = 64;
+  };
+
+  EventGraftPoint(std::string name, Config config, TxnManager* txn_manager,
+                  const HostCallTable* host, GraftNamespace* ns);
+
+  EventGraftPoint(const EventGraftPoint&) = delete;
+  EventGraftPoint& operator=(const EventGraftPoint&) = delete;
+
+  ~EventGraftPoint();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool restricted() const { return config_.restricted; }
+
+  // Adds a handler; lower `order` runs earlier. Fails with kRestrictedPoint
+  // for unprivileged owners on restricted points, kAlreadyExists if a
+  // handler with the same graft name is present.
+  Status AddHandler(std::shared_ptr<Graft> graft, int order);
+
+  // Removes the named handler; kNotFound if absent.
+  Status RemoveHandler(const std::string& graft_name);
+
+  [[nodiscard]] size_t handler_count() const;
+
+  struct DispatchOutcome {
+    size_t handlers_run = 0;
+    size_t handler_aborts = 0;
+  };
+
+  // Runs every handler (in order) on the calling thread — each handler in
+  // its own transaction, with its own resource account, so one handler's
+  // abort never disturbs another (Rule 8).
+  DispatchOutcome Dispatch(std::span<const uint64_t> args);
+
+  // Spawns a worker thread per event, as the paper describes. The worker is
+  // charged one kThreads unit against each handler's account (a handler
+  // whose account cannot afford a thread is skipped — resource limits apply
+  // to event grafts too). Workers are joined by Drain() or the destructor.
+  void DispatchAsync(std::vector<uint64_t> args);
+
+  // Waits for all asynchronous workers to finish.
+  void Drain();
+
+  struct Stats {
+    uint64_t events = 0;
+    uint64_t handler_runs = 0;
+    uint64_t handler_aborts = 0;
+    uint64_t handlers_skipped_no_thread = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Handler {
+    std::shared_ptr<Graft> graft;
+    int order;
+  };
+
+  // Runs one handler inside a transaction; returns false if it aborted (and
+  // was forcibly removed).
+  bool RunHandler(const std::shared_ptr<Graft>& graft,
+                  std::span<const uint64_t> args);
+
+  [[nodiscard]] std::vector<std::shared_ptr<Graft>> SnapshotHandlers() const;
+
+  const std::string name_;
+  const Config config_;
+  TxnManager* txn_manager_;
+  const HostCallTable* host_;
+
+  mutable std::mutex mutex_;
+  std::vector<Handler> handlers_;     // Sorted by order.
+  std::vector<std::thread> workers_;  // Outstanding async dispatches.
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_GRAFT_EVENT_POINT_H_

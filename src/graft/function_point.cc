@@ -1,0 +1,167 @@
+#include "src/graft/function_point.h"
+
+#include <optional>
+
+#include "src/base/context.h"
+#include "src/base/log.h"
+#include "src/graft/namespace.h"
+
+namespace vino {
+
+FunctionGraftPoint::FunctionGraftPoint(std::string name, DefaultFn default_fn,
+                                       Config config, TxnManager* txn_manager,
+                                       const HostCallTable* host,
+                                       GraftNamespace* ns)
+    : name_(std::move(name)),
+      default_fn_(std::move(default_fn)),
+      config_(std::move(config)),
+      txn_manager_(txn_manager),
+      host_(host) {
+  if (ns != nullptr) {
+    ns->RegisterFunction(this);
+  }
+}
+
+Status FunctionGraftPoint::Replace(std::shared_ptr<Graft> graft) {
+  if (graft == nullptr) {
+    return Status::kInvalidArgs;
+  }
+  if (config_.restricted && !graft->owner().privileged) {
+    return Status::kRestrictedPoint;
+  }
+  std::shared_ptr<Graft> expected;
+  if (!graft_.compare_exchange_strong(expected, std::move(graft))) {
+    return Status::kBusy;
+  }
+  bad_result_strikes_.store(0, std::memory_order_relaxed);
+  return Status::kOk;
+}
+
+void FunctionGraftPoint::Remove() { graft_.store(nullptr); }
+
+void FunctionGraftPoint::ForciblyRemove(const std::shared_ptr<Graft>& graft) {
+  // Only remove the graft that misbehaved; a racing replacement survives.
+  std::shared_ptr<Graft> expected = graft;
+  if (graft_.compare_exchange_strong(expected, nullptr)) {
+    forcible_removals_.fetch_add(1, std::memory_order_relaxed);
+    VINO_LOG_WARN << "graft point '" << name_ << "': forcibly removed graft '"
+                  << graft->name() << "'";
+  }
+}
+
+uint64_t FunctionGraftPoint::Invoke(std::span<const uint64_t> args) {
+  invocations_.fetch_add(1, std::memory_order_relaxed);
+
+  std::shared_ptr<Graft> graft = graft_.load();
+  if (graft == nullptr) {
+    // The VINO path: indirection plus (cheap) verification, no transaction.
+    const uint64_t result = default_fn_(args);
+    if (config_.validator && !config_.validator(result, args)) {
+      // A default implementation failing its own validator is a kernel bug;
+      // surface loudly in debug logs but return it (nothing safer exists).
+      VINO_LOG_ERROR << "graft point '" << name_ << "': default failed validation";
+    }
+    return result;
+  }
+  return RunGraft(graft, args);
+}
+
+uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
+                                      std::span<const uint64_t> args) {
+  graft_runs_.fetch_add(1, std::memory_order_relaxed);
+  graft->CountInvocation();
+
+  // The wrapper (paper §3.1): begin a transaction, swap in the graft's
+  // resource account, run, commit.
+  TxnScope scope(*txn_manager_);
+  ScopedAccount account_swap(&graft->account());
+
+  // Optional wall-clock budget: the watchdog posts an abort to this thread
+  // if the invocation outlives it.
+  std::optional<Watchdog::Scope> wall_budget;
+  if (config_.watchdog != nullptr && config_.wall_budget > 0) {
+    wall_budget.emplace(*config_.watchdog, config_.wall_budget);
+  }
+
+  Status failure = Status::kOk;
+  uint64_t result = 0;
+
+  if (graft->is_native()) {
+    // Unsafe path: host C++ runs unprotected. It may still signal abort by
+    // returning a status.
+    Result<uint64_t> r = graft->native_fn()(args, &graft->image());
+    if (r.ok()) {
+      result = r.value();
+    } else {
+      failure = r.status();
+    }
+    // Native grafts cannot be preempted mid-run; honour any abort request
+    // that arrived while they executed.
+    if (IsOk(failure) && TxnManager::AbortPending()) {
+      failure = scope.txn()->abort_reason();
+    }
+  } else {
+    RunOptions options;
+    options.fuel = config_.fuel;
+    options.poll_interval = config_.poll_interval;
+    options.abort_requested = [] { return TxnManager::AbortPending(); };
+    options.identity =
+        CallerIdentity{graft->owner().uid, graft->owner().privileged};
+    Vm vm(&graft->image(), host_);
+    const RunOutcome outcome = vm.Run(graft->program(), args, options);
+    if (IsOk(outcome.status)) {
+      result = outcome.ret;
+    } else {
+      failure = outcome.status;
+    }
+  }
+
+  if (!IsOk(failure)) {
+    // Abort: replay undo, release locks, forcibly remove the graft, fall
+    // back to the default implementation (Rule 9: forward progress).
+    scope.Abort(failure);
+    graft->CountAbort();
+    graft_aborts_.fetch_add(1, std::memory_order_relaxed);
+    ForciblyRemove(graft);
+    VINO_LOG_INFO << "graft point '" << name_ << "': graft '" << graft->name()
+                  << "' aborted: " << StatusName(failure);
+    return default_fn_(args);
+  }
+
+  // Results checking happens inside the transaction window, as in the
+  // paper's safe path.
+  const bool valid =
+      !config_.validator || config_.validator(result, args);
+
+  const Status commit_status = scope.Commit();
+  if (!IsOk(commit_status)) {
+    // An asynchronous abort (lock time-out) beat the commit.
+    graft->CountAbort();
+    graft_aborts_.fetch_add(1, std::memory_order_relaxed);
+    ForciblyRemove(graft);
+    return default_fn_(args);
+  }
+
+  if (!valid) {
+    bad_results_.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t strikes =
+        bad_result_strikes_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (config_.max_bad_results != 0 && strikes >= config_.max_bad_results) {
+      ForciblyRemove(graft);
+    }
+    return default_fn_(args);
+  }
+  return result;
+}
+
+FunctionGraftPoint::Stats FunctionGraftPoint::stats() const {
+  Stats s;
+  s.invocations = invocations_.load(std::memory_order_relaxed);
+  s.graft_runs = graft_runs_.load(std::memory_order_relaxed);
+  s.graft_aborts = graft_aborts_.load(std::memory_order_relaxed);
+  s.bad_results = bad_results_.load(std::memory_order_relaxed);
+  s.forcible_removals = forcible_removals_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vino

@@ -1,0 +1,26 @@
+#include "src/graft/graft.h"
+
+namespace vino {
+namespace {
+
+constexpr uint32_t kNativeArenaLog2 = 16;  // 64 KiB.
+
+}  // namespace
+
+Graft::Graft(std::string name, Program program, GraftIdentity owner,
+             uint64_t kernel_region_size)
+    : name_(std::move(name)),
+      program_(std::move(program)),
+      owner_(owner),
+      image_(kernel_region_size,
+             program_.sandbox_log2 != 0 ? program_.sandbox_log2 : kNativeArenaLog2),
+      account_(name_ + ".account") {}
+
+Graft::Graft(std::string name, NativeFn fn, GraftIdentity owner)
+    : name_(std::move(name)),
+      native_fn_(std::move(fn)),
+      owner_(owner),
+      image_(4096, kNativeArenaLog2),
+      account_(name_ + ".account") {}
+
+}  // namespace vino

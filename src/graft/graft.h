@@ -1,0 +1,88 @@
+// Graft descriptor: one loaded kernel extension instance.
+//
+// A graft bundles the code (a MiSFIT-instrumented program, or — for the
+// measurement's "unsafe path" and for tests — a native C++ callback), the
+// memory arena the code is confined to, the identity of the installing
+// user, and the resource account its allocations are charged against
+// (initially zero; the installer transfers limits or sponsors it, §3.2).
+
+#ifndef VINOLITE_SRC_GRAFT_GRAFT_H_
+#define VINOLITE_SRC_GRAFT_GRAFT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "src/base/status.h"
+#include "src/resource/account.h"
+#include "src/sfi/memory_image.h"
+#include "src/sfi/program.h"
+
+namespace vino {
+
+// Who installed the graft. Grafts run with the installing user's identity
+// (§3.3: "A graft is run with the user identity of the process that
+// installs it"); only privileged identities may touch restricted (global
+// policy) graft points (§2.3).
+struct GraftIdentity {
+  uint64_t uid = 0;
+  bool privileged = false;
+};
+
+class Graft {
+ public:
+  // Native graft: runs host C++ directly, with no SFI protection. This is
+  // the paper's "unsafe path" and is only installable through the
+  // privileged InstallNativeUnsafe API — never through the loader.
+  using NativeFn =
+      std::function<Result<uint64_t>(std::span<const uint64_t>, MemoryImage*)>;
+
+  // Program-backed graft (the normal, safe case). `kernel_region_size`
+  // sizes the image's simulated kernel region; the arena comes from the
+  // program's sandbox_log2.
+  Graft(std::string name, Program program, GraftIdentity owner,
+        uint64_t kernel_region_size);
+
+  // Native graft; gets a default 64 KiB arena for shared-buffer exchange.
+  Graft(std::string name, NativeFn fn, GraftIdentity owner);
+
+  Graft(const Graft&) = delete;
+  Graft& operator=(const Graft&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] bool is_native() const { return native_fn_ != nullptr; }
+  [[nodiscard]] const Program& program() const { return program_; }
+  [[nodiscard]] const NativeFn& native_fn() const { return native_fn_; }
+  [[nodiscard]] GraftIdentity owner() const { return owner_; }
+
+  [[nodiscard]] MemoryImage& image() { return image_; }
+  [[nodiscard]] ResourceAccount& account() { return account_; }
+
+  // --- Statistics -----------------------------------------------------
+  void CountInvocation() { invocations_.fetch_add(1, std::memory_order_relaxed); }
+  void CountAbort() { aborts_.fetch_add(1, std::memory_order_relaxed); }
+  [[nodiscard]] uint64_t invocations() const {
+    return invocations_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t aborts() const {
+    return aborts_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  Program program_;
+  NativeFn native_fn_;
+  GraftIdentity owner_;
+  MemoryImage image_;
+  ResourceAccount account_;
+
+  std::atomic<uint64_t> invocations_{0};
+  std::atomic<uint64_t> aborts_{0};
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_GRAFT_GRAFT_H_

@@ -1,0 +1,96 @@
+#include "src/graft/loader.h"
+
+#include "src/base/log.h"
+
+namespace vino {
+
+Result<std::shared_ptr<Graft>> GraftLoader::Load(const SignedGraft& signed_graft,
+                                                 const LoadSpec& spec) {
+  // 1. Signature: recompute and compare (§3.3). A graft whose bits changed
+  //    since MiSFIT signed it is not loaded.
+  if (!authority_.Verify(signed_graft)) {
+    VINO_LOG_WARN << "loader: signature mismatch for graft '"
+                  << signed_graft.program.name << "'";
+    return Status::kBadSignature;
+  }
+
+  const Program& program = signed_graft.program;
+
+  // 2. Only instrumented code runs in the kernel.
+  if (!program.instrumented) {
+    return Status::kNotInstrumented;
+  }
+
+  // 3. Structural verification.
+  const Status verify = VerifyProgram(program);
+  if (!IsOk(verify)) {
+    return verify;
+  }
+
+  // 4. Link-time direct-call check: every direct call target must be on the
+  //    graft-callable list; otherwise "the graft is not loaded into the
+  //    system" (§3.3).
+  for (const uint32_t id : program.direct_call_ids) {
+    if (!host_->IsCallable(id)) {
+      const HostCallTable::Entry* entry = host_->Lookup(id);
+      VINO_LOG_WARN << "loader: graft '" << program.name
+                    << "' calls non-graft-callable function "
+                    << (entry != nullptr ? entry->name : std::string("<unknown>"));
+      return Status::kIllegalCall;
+    }
+  }
+
+  // 5. Sandbox sanity: the instrumented mask must correspond to a real
+  //    arena size.
+  if (program.sandbox_log2 < 4 || program.sandbox_log2 > 30) {
+    return Status::kBadGraft;
+  }
+
+  auto graft = std::make_shared<Graft>(program.name, program, spec.identity,
+                                       options_.image_kernel_size);
+  if (spec.sponsor != nullptr) {
+    const Status bill = graft->account().BillTo(spec.sponsor);
+    if (!IsOk(bill)) {
+      return bill;
+    }
+  }
+  return graft;
+}
+
+Status GraftLoader::InstallFunction(const std::string& point_name,
+                                    std::shared_ptr<Graft> graft) {
+  Result<FunctionGraftPoint*> point = ns_->LookupFunction(point_name);
+  if (!point.ok()) {
+    return point.status();
+  }
+  return point.value()->Replace(std::move(graft));
+}
+
+Status GraftLoader::InstallEvent(const std::string& point_name,
+                                 std::shared_ptr<Graft> graft, int order) {
+  Result<EventGraftPoint*> point = ns_->LookupEvent(point_name);
+  if (!point.ok()) {
+    return point.status();
+  }
+  return point.value()->AddHandler(std::move(graft), order);
+}
+
+Result<std::shared_ptr<Graft>> GraftLoader::LoadNativeUnsafe(
+    std::string name, Graft::NativeFn fn, const LoadSpec& spec) {
+  if (!spec.identity.privileged) {
+    // Unprotected code in the kernel is exactly what this system exists to
+    // prevent; only the measurement harness (privileged) may do it.
+    return Status::kPermissionDenied;
+  }
+  auto graft =
+      std::make_shared<Graft>(std::move(name), std::move(fn), spec.identity);
+  if (spec.sponsor != nullptr) {
+    const Status bill = graft->account().BillTo(spec.sponsor);
+    if (!IsOk(bill)) {
+      return bill;
+    }
+  }
+  return graft;
+}
+
+}  // namespace vino

@@ -1,0 +1,58 @@
+#include "src/graft/namespace.h"
+
+#include "src/graft/event_point.h"
+#include "src/graft/function_point.h"
+
+namespace vino {
+
+void GraftNamespace::RegisterFunction(FunctionGraftPoint* point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  functions_[point->name()] = point;
+}
+
+void GraftNamespace::RegisterEvent(EventGraftPoint* point) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  events_[point->name()] = point;
+}
+
+void GraftNamespace::Unregister(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  functions_.erase(name);
+  events_.erase(name);
+}
+
+Result<FunctionGraftPoint*> GraftNamespace::LookupFunction(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+Result<EventGraftPoint*> GraftNamespace::LookupEvent(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = events_.find(name);
+  if (it == events_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+std::vector<GraftNamespace::EntryInfo> GraftNamespace::List() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  std::vector<EntryInfo> out;
+  out.reserve(functions_.size() + events_.size());
+  for (const auto& [name, point] : functions_) {
+    out.push_back(EntryInfo{name, false, point->restricted(), point->grafted()});
+  }
+  for (const auto& [name, point] : events_) {
+    out.push_back(
+        EntryInfo{name, true, point->restricted(), point->handler_count() > 0});
+  }
+  return out;
+}
+
+}  // namespace vino

@@ -1,0 +1,63 @@
+// The kernel-maintained graft namespace (paper §3.4).
+//
+// "To install a graft, an application must first obtain a handle for the
+//  graft point. This is accomplished by looking up the graft point in a
+//  kernel-maintained graft namespace. The name is composed of the object to
+//  be grafted (e.g., the open file) and the name of the function to be
+//  replaced (e.g., 'read-ahead')."
+//
+// Names are dotted paths like "openfile.42.compute-ra" or
+// "net.tcp.80.connection". Kernel objects register their points at
+// construction; applications look them up by name.
+
+#ifndef VINOLITE_SRC_GRAFT_NAMESPACE_H_
+#define VINOLITE_SRC_GRAFT_NAMESPACE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace vino {
+
+class FunctionGraftPoint;
+class EventGraftPoint;
+
+class GraftNamespace {
+ public:
+  GraftNamespace() = default;
+  GraftNamespace(const GraftNamespace&) = delete;
+  GraftNamespace& operator=(const GraftNamespace&) = delete;
+
+  // Registration (called by graft point constructors). Re-registering a
+  // name replaces the entry — kernel objects own their names.
+  void RegisterFunction(FunctionGraftPoint* point);
+  void RegisterEvent(EventGraftPoint* point);
+
+  // Deregistration (kernel object teardown).
+  void Unregister(const std::string& name);
+
+  [[nodiscard]] Result<FunctionGraftPoint*> LookupFunction(
+      const std::string& name) const;
+  [[nodiscard]] Result<EventGraftPoint*> LookupEvent(const std::string& name) const;
+
+  // All registered names with a kind tag, for introspection tools.
+  struct EntryInfo {
+    std::string name;
+    bool is_event;
+    bool restricted;
+    bool occupied;  // Function point grafted / event point has handlers.
+  };
+  [[nodiscard]] std::vector<EntryInfo> List() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, FunctionGraftPoint*> functions_;
+  std::map<std::string, EventGraftPoint*> events_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_GRAFT_NAMESPACE_H_

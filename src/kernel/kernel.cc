@@ -1,0 +1,39 @@
+#include "src/kernel/kernel.h"
+
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+
+namespace vino {
+
+VinoKernel::VinoKernel(const VinoKernelConfig& config)
+    : toolchain_(config.signing_key),
+      loader_(&ns_, &host_, SigningAuthority(config.signing_key)),
+      watchdog_(config.start_watchdog
+                    ? std::make_unique<Watchdog>(config.watchdog_tick)
+                    : nullptr),
+      disk_(config.disk, &clock_),
+      cache_(config.cache_buffers, config.readahead_quota, &disk_, &clock_),
+      fs_(&disk_, &cache_, &txn_, &host_, &ns_),
+      mem_(config.memory_frames, &txn_, &host_, &ns_),
+      net_(&txn_, &host_, &ns_),
+      sched_(config.sched, &clock_, &txn_, &host_, &ns_) {}
+
+Result<std::shared_ptr<Graft>> VinoKernel::LoadGraftFromSource(
+    std::string_view source, std::string name, GraftIdentity identity,
+    ResourceAccount* sponsor) {
+  Result<Program> program = Assemble(source, std::move(name), &host_);
+  if (!program.ok()) {
+    return program.status();
+  }
+  Result<Program> instrumented = Instrument(*program);
+  if (!instrumented.ok()) {
+    return instrumented.status();
+  }
+  Result<SignedGraft> signed_graft = toolchain_.Sign(*instrumented);
+  if (!signed_graft.ok()) {
+    return signed_graft.status();
+  }
+  return loader_.Load(*signed_graft, {identity, sponsor});
+}
+
+}  // namespace vino

@@ -1,0 +1,189 @@
+#include "src/lockmgr/grafted_lock_manager.h"
+
+#include <algorithm>
+
+namespace vino {
+namespace {
+
+bool ConflictsWithHolders(const LockState& state, const LockRequest& request) {
+  return std::any_of(state.holders.begin(), state.holders.end(),
+                     [&request](const LockRequest& h) {
+                       return h.holder != request.holder &&
+                              !Compatible(h.mode, request.mode);
+                     });
+}
+
+}  // namespace
+
+GraftedLockManager::GraftedLockManager(const std::string& name,
+                                       TxnManager* txn_manager,
+                                       const HostCallTable* host,
+                                       GraftNamespace* ns)
+    : grant_point_(
+          name + ".grant",
+          [this](std::span<const uint64_t>) -> uint64_t {
+            return DefaultGrant(*deciding_state_, *deciding_request_);
+          },
+          [] {
+            FunctionGraftPoint::Config config;
+            // Any answer is boolean-interpretable; no validator needed.
+            return config;
+          }(),
+          txn_manager, host, ns),
+      enqueue_point_(
+          name + ".enqueue",
+          [this](std::span<const uint64_t>) -> uint64_t {
+            return deciding_state_->waiters.size();  // Figure 4: append.
+          },
+          [] {
+            FunctionGraftPoint::Config config;
+            return config;
+          }(),
+          txn_manager, host, ns) {}
+
+uint64_t GraftedLockManager::DefaultGrant(const LockState& state,
+                                          const LockRequest& request) {
+  // Figure 4's hard-coded policy: grant iff no conflict with holders.
+  return ConflictsWithHolders(state, request) ? 0 : 1;
+}
+
+void GraftedLockManager::Marshal(const LockState& state,
+                                 const LockRequest& request,
+                                 const std::shared_ptr<Graft>& graft,
+                                 uint64_t args[6]) {
+  MemoryImage& arena = graft->image();
+  const uint64_t holders_base = arena.arena_base() + kLockHoldersOffset;
+  const uint64_t waiters_base = arena.arena_base() + kLockWaitersOffset;
+  const uint64_t max_entries = (kLockWaitersOffset - 8) / 16;
+
+  const uint64_t holder_count =
+      std::min<uint64_t>(state.holders.size(), max_entries);
+  (void)arena.WriteU64(holders_base, holder_count);
+  for (uint64_t i = 0; i < holder_count; ++i) {
+    (void)arena.WriteU64(holders_base + 8 + i * 16, state.holders[i].holder);
+    (void)arena.WriteU64(holders_base + 16 + i * 16,
+                         static_cast<uint64_t>(state.holders[i].mode));
+  }
+  const uint64_t waiter_count =
+      std::min<uint64_t>(state.waiters.size(), max_entries);
+  (void)arena.WriteU64(waiters_base, waiter_count);
+  for (uint64_t i = 0; i < waiter_count; ++i) {
+    (void)arena.WriteU64(waiters_base + 8 + i * 16, state.waiters[i].holder);
+    (void)arena.WriteU64(waiters_base + 16 + i * 16,
+                         static_cast<uint64_t>(state.waiters[i].mode));
+  }
+
+  args[0] = request.holder;
+  args[1] = static_cast<uint64_t>(request.mode);
+  args[2] = holders_base + 8;
+  args[3] = holder_count;
+  args[4] = waiters_base + 8;
+  args[5] = waiter_count;
+}
+
+uint64_t GraftedLockManager::ConsultGrant(const LockState& state,
+                                          const LockRequest& request) {
+  deciding_state_ = &state;
+  deciding_request_ = &request;
+  uint64_t args[6] = {request.holder, static_cast<uint64_t>(request.mode),
+                      0, 0, 0, 0};
+  std::shared_ptr<Graft> graft = grant_point_.current_graft();
+  if (graft != nullptr && !graft->is_native()) {
+    Marshal(state, request, graft, args);
+  }
+  const uint64_t decision = grant_point_.Invoke(args);
+  deciding_state_ = nullptr;
+  deciding_request_ = nullptr;
+  return decision;
+}
+
+uint64_t GraftedLockManager::ConsultEnqueue(const LockState& state,
+                                            const LockRequest& request) {
+  deciding_state_ = &state;
+  deciding_request_ = &request;
+  uint64_t args[6] = {request.holder, static_cast<uint64_t>(request.mode),
+                      0, 0, 0, 0};
+  std::shared_ptr<Graft> graft = enqueue_point_.current_graft();
+  if (graft != nullptr && !graft->is_native()) {
+    Marshal(state, request, graft, args);
+  }
+  uint64_t index = enqueue_point_.Invoke(args);
+  if (index > state.waiters.size()) {
+    index = state.waiters.size();  // Kernel-side clamp of graft output.
+  }
+  deciding_state_ = nullptr;
+  deciding_request_ = nullptr;
+  return index;
+}
+
+Status GraftedLockManager::GetLock(LockResourceId resource, LockHolderId holder,
+                                   LockMode mode) {
+  LockState& state = locks_[resource];
+  const bool already =
+      std::any_of(state.holders.begin(), state.holders.end(),
+                  [holder](const LockRequest& h) { return h.holder == holder; });
+  if (already) {
+    return Status::kAlreadyExists;
+  }
+  const LockRequest request{holder, mode};
+
+  // A grant graft can *deny* requests the default would grant (fair
+  // queueing), but it must not grant conflicting requests: the kernel
+  // re-checks compatibility — the graft chooses policy, not safety.
+  const bool graft_says_grant = ConsultGrant(state, request) != 0;
+  if (graft_says_grant && !ConflictsWithHolders(state, request)) {
+    state.holders.push_back(request);
+    return Status::kOk;
+  }
+
+  const uint64_t index = ConsultEnqueue(state, request);
+  state.waiters.insert(state.waiters.begin() + static_cast<ptrdiff_t>(index),
+                       request);
+  return Status::kBusy;
+}
+
+Status GraftedLockManager::ReleaseLock(LockResourceId resource,
+                                       LockHolderId holder) {
+  const auto it = locks_.find(resource);
+  if (it == locks_.end()) {
+    return Status::kNotFound;
+  }
+  LockState& state = it->second;
+  const auto h = std::find_if(
+      state.holders.begin(), state.holders.end(),
+      [holder](const LockRequest& r) { return r.holder == holder; });
+  if (h == state.holders.end()) {
+    return Status::kNotFound;
+  }
+  state.holders.erase(h);
+  // Promotion stays kernel policy (safety): FIFO while compatible.
+  while (!state.waiters.empty()) {
+    const LockRequest& next = state.waiters.front();
+    if (ConflictsWithHolders(state, next)) {
+      break;
+    }
+    state.holders.push_back(next);
+    state.waiters.pop_front();
+  }
+  if (state.holders.empty() && state.waiters.empty()) {
+    locks_.erase(it);
+  }
+  return Status::kOk;
+}
+
+bool GraftedLockManager::Holds(LockResourceId resource,
+                               LockHolderId holder) const {
+  const auto it = locks_.find(resource);
+  if (it == locks_.end()) {
+    return false;
+  }
+  return std::any_of(it->second.holders.begin(), it->second.holders.end(),
+                     [holder](const LockRequest& h) { return h.holder == holder; });
+}
+
+size_t GraftedLockManager::WaiterCount(LockResourceId resource) const {
+  const auto it = locks_.find(resource);
+  return it == locks_.end() ? 0 : it->second.waiters.size();
+}
+
+}  // namespace vino

@@ -1,0 +1,82 @@
+// The fully graftable lock manager: Figure 5 taken to its conclusion.
+//
+// Where PolicyLockManager encapsulates the two policy decisions behind C++
+// indirections, this manager exposes them as real graft points, so an
+// application can download its own grant and queue-insertion policies —
+// sandboxed, transactional, abortable — exactly like any other graft. The
+// paper (§6) uses get_lock as its worked example of "every decision that
+// might conceivably be extended had to be encapsulated in an interface";
+// this is that interface with the full protection machinery attached.
+//
+// Graft-arena protocol (both points):
+//   arena[kLockHoldersOffset]  u64 count, then `count` (holder, mode) u64
+//                              pairs
+//   arena[kLockWaitersOffset]  u64 count, then `count` (holder, mode) pairs
+// Arguments: r0 = requesting holder id, r1 = requested mode (0 = shared,
+// 1 = exclusive), r2 = holders address, r3 = holder count,
+// r4 = waiters address, r5 = waiter count.
+//
+// grant point   -> returns nonzero to grant, zero to queue.
+// enqueue point -> returns the insertion index into the wait queue;
+//                  the kernel clamps out-of-range answers to append.
+
+#ifndef VINOLITE_SRC_LOCKMGR_GRAFTED_LOCK_MANAGER_H_
+#define VINOLITE_SRC_LOCKMGR_GRAFTED_LOCK_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/graft/function_point.h"
+#include "src/graft/namespace.h"
+#include "src/lockmgr/lock_manager.h"
+#include "src/sfi/host.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+
+inline constexpr uint64_t kLockHoldersOffset = 0;
+inline constexpr uint64_t kLockWaitersOffset = 8 * 1024;
+
+class GraftedLockManager {
+ public:
+  // Registers "<name>.grant" and "<name>.enqueue" in the namespace.
+  GraftedLockManager(const std::string& name, TxnManager* txn_manager,
+                     const HostCallTable* host, GraftNamespace* ns);
+
+  GraftedLockManager(const GraftedLockManager&) = delete;
+  GraftedLockManager& operator=(const GraftedLockManager&) = delete;
+
+  [[nodiscard]] FunctionGraftPoint& grant_point() { return grant_point_; }
+  [[nodiscard]] FunctionGraftPoint& enqueue_point() { return enqueue_point_; }
+
+  Status GetLock(LockResourceId resource, LockHolderId holder, LockMode mode);
+  Status ReleaseLock(LockResourceId resource, LockHolderId holder);
+
+  [[nodiscard]] bool Holds(LockResourceId resource, LockHolderId holder) const;
+  [[nodiscard]] size_t WaiterCount(LockResourceId resource) const;
+
+ private:
+  // Marshals the lock state into `graft`'s arena and fills the six args.
+  static void Marshal(const LockState& state, const LockRequest& request,
+                      const std::shared_ptr<Graft>& graft, uint64_t args[6]);
+
+  // Default decisions (Figure 4 semantics), used directly when ungrafted
+  // and as the fallback the points revert to after an abort.
+  static uint64_t DefaultGrant(const LockState& state, const LockRequest& request);
+
+  uint64_t ConsultGrant(const LockState& state, const LockRequest& request);
+  uint64_t ConsultEnqueue(const LockState& state, const LockRequest& request);
+
+  std::unordered_map<LockResourceId, LockState> locks_;
+  // Stashes the state under decision so the points' default closures can
+  // reach it without re-marshalling.
+  const LockState* deciding_state_ = nullptr;
+  const LockRequest* deciding_request_ = nullptr;
+
+  FunctionGraftPoint grant_point_;
+  FunctionGraftPoint enqueue_point_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_LOCKMGR_GRAFTED_LOCK_MANAGER_H_

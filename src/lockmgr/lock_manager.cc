@@ -1,0 +1,181 @@
+#include "src/lockmgr/lock_manager.h"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace vino {
+namespace {
+
+bool ConflictsWithHolders(const LockState& state, const LockRequest& request) {
+  for (const LockRequest& h : state.holders) {
+    if (h.holder != request.holder && !Compatible(h.mode, request.mode)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AlreadyHolds(const LockState& state, LockHolderId holder) {
+  return std::any_of(state.holders.begin(), state.holders.end(),
+                     [holder](const LockRequest& h) { return h.holder == holder; });
+}
+
+// Shared release/promotion logic. After removing a holder, grants waiters
+// in queue order while they remain compatible with the holder set.
+void PromoteWaiters(LockState& state) {
+  while (!state.waiters.empty()) {
+    const LockRequest& next = state.waiters.front();
+    if (ConflictsWithHolders(state, next)) {
+      return;
+    }
+    state.holders.push_back(next);
+    state.waiters.pop_front();
+  }
+}
+
+Status ReleaseFrom(std::unordered_map<LockResourceId, LockState>& locks,
+                   LockResourceId resource, LockHolderId holder) {
+  const auto it = locks.find(resource);
+  if (it == locks.end()) {
+    return Status::kNotFound;
+  }
+  LockState& state = it->second;
+  const auto h = std::find_if(state.holders.begin(), state.holders.end(),
+                              [holder](const LockRequest& r) { return r.holder == holder; });
+  if (h == state.holders.end()) {
+    return Status::kNotFound;
+  }
+  state.holders.erase(h);
+  PromoteWaiters(state);
+  if (state.holders.empty() && state.waiters.empty()) {
+    locks.erase(it);
+  }
+  return Status::kOk;
+}
+
+bool HoldsIn(const std::unordered_map<LockResourceId, LockState>& locks,
+             LockResourceId resource, LockHolderId holder) {
+  const auto it = locks.find(resource);
+  return it != locks.end() && AlreadyHolds(it->second, holder);
+}
+
+size_t WaitersIn(const std::unordered_map<LockResourceId, LockState>& locks,
+                 LockResourceId resource) {
+  const auto it = locks.find(resource);
+  return it == locks.end() ? 0 : it->second.waiters.size();
+}
+
+}  // namespace
+
+// --- Figure 4 -------------------------------------------------------------
+
+Status SimpleLockManager::GetLock(LockResourceId resource, LockHolderId holder,
+                                  LockMode mode) {
+  LockState& state = locks_[resource];
+  if (AlreadyHolds(state, holder)) {
+    return Status::kAlreadyExists;
+  }
+  const LockRequest request{holder, mode};
+  // Hard-coded policy 1: grant iff no conflict with current holders
+  // (ignores waiters — reader priority).
+  if (!ConflictsWithHolders(state, request)) {
+    state.holders.push_back(request);
+    return Status::kOk;
+  }
+  // Hard-coded policy 2: append to the waiters list (FIFO).
+  state.waiters.push_back(request);
+  return Status::kBusy;
+}
+
+Status SimpleLockManager::ReleaseLock(LockResourceId resource, LockHolderId holder) {
+  return ReleaseFrom(locks_, resource, holder);
+}
+
+bool SimpleLockManager::Holds(LockResourceId resource, LockHolderId holder) const {
+  return HoldsIn(locks_, resource, holder);
+}
+
+size_t SimpleLockManager::WaiterCount(LockResourceId resource) const {
+  return WaitersIn(locks_, resource);
+}
+
+// --- Figure 5 -------------------------------------------------------------
+
+PolicyLockManager::PolicyLockManager() {
+  grant_policy_ = [](const LockState& state, const LockRequest& request) {
+    return !ConflictsWithHolders(state, request);
+  };
+  queue_policy_ = [](const LockState& state, const LockRequest&) {
+    return state.waiters.size();  // Append.
+  };
+}
+
+void PolicyLockManager::SetGrantPolicy(GrantPolicy policy) {
+  if (policy) {
+    grant_policy_ = std::move(policy);
+  } else {
+    grant_policy_ = [](const LockState& state, const LockRequest& request) {
+      return !ConflictsWithHolders(state, request);
+    };
+  }
+}
+
+void PolicyLockManager::SetQueuePolicy(QueuePolicy policy) {
+  if (policy) {
+    queue_policy_ = std::move(policy);
+  } else {
+    queue_policy_ = [](const LockState& state, const LockRequest&) {
+      return state.waiters.size();
+    };
+  }
+}
+
+Status PolicyLockManager::GetLock(LockResourceId resource, LockHolderId holder,
+                                  LockMode mode) {
+  LockState& state = locks_[resource];
+  if (AlreadyHolds(state, holder)) {
+    return Status::kAlreadyExists;
+  }
+  const LockRequest request{holder, mode};
+  // Decision point 1, behind an indirection.
+  if (grant_policy_(state, request)) {
+    state.holders.push_back(request);
+    return Status::kOk;
+  }
+  // Decision point 2, behind an indirection.
+  size_t index = queue_policy_(state, request);
+  if (index > state.waiters.size()) {
+    index = state.waiters.size();  // Defensive clamp of policy output.
+  }
+  state.waiters.insert(state.waiters.begin() + static_cast<ptrdiff_t>(index),
+                       request);
+  return Status::kBusy;
+}
+
+Status PolicyLockManager::ReleaseLock(LockResourceId resource, LockHolderId holder) {
+  return ReleaseFrom(locks_, resource, holder);
+}
+
+bool PolicyLockManager::Holds(LockResourceId resource, LockHolderId holder) const {
+  return HoldsIn(locks_, resource, holder);
+}
+
+size_t PolicyLockManager::WaiterCount(LockResourceId resource) const {
+  return WaitersIn(locks_, resource);
+}
+
+bool PolicyLockManager::FairGrantPolicy(const LockState& state,
+                                        const LockRequest& request) {
+  // No barging: conflicts with holders *or* any earlier waiter block.
+  if (ConflictsWithHolders(state, request)) {
+    return false;
+  }
+  for (const LockRequest& w : state.waiters) {
+    if (!Compatible(w.mode, request.mode)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace vino

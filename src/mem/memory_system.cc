@@ -1,0 +1,233 @@
+#include "src/mem/memory_system.h"
+
+#include "src/base/log.h"
+
+namespace vino {
+
+VirtualAddressSpace::VirtualAddressSpace(VasId id, std::string name,
+                                         size_t resident_limit, MemorySystem* mem,
+                                         TxnManager* txn_manager,
+                                         const HostCallTable* host,
+                                         GraftNamespace* ns)
+    : id_(id),
+      name_(std::move(name)),
+      resident_limit_(resident_limit),
+      mem_(mem),
+      eviction_point_(
+          "vas." + std::to_string(id) + ".evict",
+          // Default policy: accept the global algorithm's victim (arg 0).
+          [](std::span<const uint64_t> args) -> uint64_t {
+            return args.empty() ? 0 : args[0];
+          },
+          [this] {
+            FunctionGraftPoint::Config config;
+            // Verification per §4.2.1: the returned page must belong to
+            // this VAS, be resident, and not be wired.
+            config.validator = [this](uint64_t result,
+                                      std::span<const uint64_t>) -> bool {
+              Page* page = mem_->pool().FindPage(result);
+              return page != nullptr && page->resident && page->owner == id_ &&
+                     !page->wired;
+            };
+            return config;
+          }(),
+          txn_manager, host, ns) {}
+
+void VirtualAddressSpace::SetPinnedHints(std::vector<PageId> page_ids) {
+  pinned_hints_ = std::move(page_ids);
+  // Mirror into the graft arena, if a graft is installed.
+  std::shared_ptr<Graft> graft = eviction_point_.current_graft();
+  if (graft == nullptr) {
+    return;
+  }
+  MemoryImage& arena = graft->image();
+  const uint64_t base = arena.arena_base() + kEvictHintOffset;
+  const uint64_t count = pinned_hints_.size();
+  (void)arena.WriteU64(base, count);
+  for (uint64_t i = 0; i < count; ++i) {
+    (void)arena.WriteU64(base + 8 + i * 8, pinned_hints_[i]);
+  }
+}
+
+Status VirtualAddressSpace::Wire(uint64_t virtual_index) {
+  Page* page = FindResident(virtual_index);
+  if (page == nullptr) {
+    return Status::kNotFound;
+  }
+  page->wired = true;
+  return Status::kOk;
+}
+
+Status VirtualAddressSpace::Unwire(uint64_t virtual_index) {
+  Page* page = FindResident(virtual_index);
+  if (page == nullptr) {
+    return Status::kNotFound;
+  }
+  page->wired = false;
+  return Status::kOk;
+}
+
+Page* VirtualAddressSpace::FindResident(uint64_t virtual_index) {
+  const auto it = resident_.find(virtual_index);
+  return it == resident_.end() ? nullptr : it->second;
+}
+
+std::vector<PageId> VirtualAddressSpace::ResidentPageIds() const {
+  std::vector<PageId> out;
+  out.reserve(resident_.size());
+  for (const auto& [index, page] : resident_) {
+    out.push_back(page->id);
+  }
+  return out;
+}
+
+MemorySystem::MemorySystem(size_t frame_count, TxnManager* txn_manager,
+                           const HostCallTable* host, GraftNamespace* ns)
+    : pool_(frame_count), txn_manager_(txn_manager), host_(host), ns_(ns) {}
+
+VirtualAddressSpace* MemorySystem::CreateVas(std::string name,
+                                             size_t resident_limit) {
+  const VasId id = next_vas_id_++;
+  auto vas = std::make_unique<VirtualAddressSpace>(
+      id, std::move(name), resident_limit, this, txn_manager_, host_, ns_);
+  VirtualAddressSpace* raw = vas.get();
+  vases_.emplace(id, std::move(vas));
+  return raw;
+}
+
+VirtualAddressSpace* MemorySystem::FindVas(VasId id) {
+  const auto it = vases_.find(id);
+  return it == vases_.end() ? nullptr : it->second.get();
+}
+
+Result<bool> MemorySystem::Touch(VasId vas_id, uint64_t virtual_index) {
+  VirtualAddressSpace* vas = FindVas(vas_id);
+  if (vas == nullptr) {
+    return Status::kNotFound;
+  }
+
+  if (Page* page = vas->FindResident(virtual_index); page != nullptr) {
+    pool_.Touch(page);
+    return false;  // Hit.
+  }
+
+  ++stats_.faults;
+
+  // The VAS may not exceed its own share of physical memory, graft or no
+  // graft: evict this VAS's own pages until under limit.
+  while (vas->resident_.size() >= vas->resident_limit_) {
+    const Status s = EvictOneFrom(vas_id);
+    if (!IsOk(s)) {
+      return s;
+    }
+  }
+
+  Page* frame = pool_.Allocate(vas_id, virtual_index);
+  while (frame == nullptr) {
+    const Status s = EvictOne();
+    if (!IsOk(s)) {
+      return s;
+    }
+    frame = pool_.Allocate(vas_id, virtual_index);
+  }
+  vas->resident_.emplace(virtual_index, frame);
+  return true;  // Fault serviced.
+}
+
+void MemorySystem::MarshalEvictionArgs(VirtualAddressSpace& vas, Page* victim,
+                                       MemoryImage& arena, uint64_t args[5]) {
+  const uint64_t resident_base = arena.arena_base() + kEvictResidentOffset;
+  const std::vector<PageId> resident = vas.ResidentPageIds();
+  // Clamp to what fits in the region between the two lists.
+  const uint64_t max_entries = (kEvictHintOffset - 8) / 8;
+  const uint64_t count =
+      resident.size() < max_entries ? resident.size() : max_entries;
+  (void)arena.WriteU64(resident_base, count);
+  for (uint64_t i = 0; i < count; ++i) {
+    (void)arena.WriteU64(resident_base + 8 + i * 8, resident[i]);
+  }
+
+  const uint64_t hint_base = arena.arena_base() + kEvictHintOffset;
+  args[0] = victim->id;
+  args[1] = resident_base + 8;
+  args[2] = count;
+  args[3] = hint_base + 8;
+  Result<uint64_t> hint_count = arena.ReadU64(hint_base);
+  args[4] = hint_count.ok() ? hint_count.value() : 0;
+}
+
+Status MemorySystem::EvictOne() {
+  return EvictVictim(pool_.SelectVictim());
+}
+
+Status MemorySystem::EvictOneFrom(VasId vas_id) {
+  return EvictVictim(pool_.SelectVictimFrom(vas_id));
+}
+
+Status MemorySystem::RunPageDaemon(size_t free_target) {
+  if (free_target > pool_.frame_count()) {
+    free_target = pool_.frame_count();
+  }
+  while (pool_.free_count() < free_target) {
+    const Status s = EvictOne();
+    if (!IsOk(s)) {
+      return s;  // Everything left is wired.
+    }
+  }
+  return Status::kOk;
+}
+
+Status MemorySystem::EvictVictim(Page* victim) {
+  if (victim == nullptr) {
+    return Status::kUnavailable;  // Everything wired.
+  }
+
+  VirtualAddressSpace* vas = FindVas(victim->owner);
+  Page* to_evict = victim;
+
+  if (vas != nullptr && vas->eviction_point_.grafted()) {
+    ++stats_.graft_consultations;
+    std::shared_ptr<Graft> graft = vas->eviction_point_.current_graft();
+
+    uint64_t args[5] = {};
+    if (graft != nullptr && !graft->is_native()) {
+      MarshalEvictionArgs(*vas, victim, graft->image(), args);
+    } else {
+      // Native grafts receive the same argument shape; list addresses are
+      // zero and they consult kernel structures directly.
+      args[0] = victim->id;
+    }
+
+    // Invoke returns the graft's choice if it validated, else the default
+    // (the original victim). A validation failure shows up as a bad-result
+    // strike on the point.
+    const uint64_t bad_before = vas->eviction_point_.stats().bad_results;
+    const uint64_t chosen_id = vas->eviction_point_.Invoke(args);
+    if (vas->eviction_point_.stats().bad_results != bad_before) {
+      ++stats_.graft_rejections;
+    }
+    Page* chosen = pool_.FindPage(chosen_id);
+    if (chosen != nullptr && chosen != victim && chosen->resident &&
+        chosen->owner == vas->id() && !chosen->wired) {
+      // Accepted overrule: Cao-style position swap, then evict the
+      // graft's choice.
+      pool_.SwapLruPositions(victim, chosen);
+      to_evict = chosen;
+      ++stats_.graft_overrules;
+    }
+  }
+
+  EvictPage(to_evict);
+  return Status::kOk;
+}
+
+void MemorySystem::EvictPage(Page* page) {
+  VirtualAddressSpace* vas = FindVas(page->owner);
+  if (vas != nullptr) {
+    vas->resident_.erase(page->virtual_index);
+  }
+  pool_.Free(page);
+  ++stats_.evictions;
+}
+
+}  // namespace vino

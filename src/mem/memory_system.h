@@ -1,0 +1,175 @@
+// The virtual memory substrate: address spaces, faulting, and the
+// two-level page eviction algorithm with a per-VAS eviction graft point
+// (paper §4.2).
+//
+// "A global page eviction algorithm selects a victim page. Then, if the
+//  owning VAS has installed a page eviction graft, it invokes the graft
+//  passing it the victim page and a list of all other pages that the
+//  virtual memory system currently assigns to the particular VAS. The
+//  VAS-specific function can accept the victim page or suggest another page
+//  as a replacement. The global algorithm then verifies that the selected
+//  page belongs to the specific VAS and is not wired. If either of these
+//  checks fails the system ignores the request and evicts the original
+//  victim. When an acceptable choice is returned, we use Cao's approach and
+//  place the original victim into the global LRU queue in the spot occupied
+//  by the replacement specified by the graft."
+
+#ifndef VINOLITE_SRC_MEM_MEMORY_SYSTEM_H_
+#define VINOLITE_SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graft/function_point.h"
+#include "src/graft/namespace.h"
+#include "src/mem/page.h"
+#include "src/mem/page_pool.h"
+#include "src/sfi/host.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+
+class MemorySystem;
+
+// Graft-arena protocol for program-backed eviction grafts.
+// The kernel marshals the VAS's resident set into the graft's arena before
+// each invocation; applications deposit their pinned-page hints through
+// VirtualAddressSpace::SetPinnedHints, which mirrors them into the arena.
+//
+//   arena[kEvictResidentOffset]       u64 count, then `count` u64 page ids
+//   arena[kEvictHintOffset]           u64 count, then `count` u64 page ids
+//
+// Graft arguments: r0 = victim page id, r1 = resident list address,
+// r2 = resident count, r3 = hint list address, r4 = hint count.
+// Return value: the chosen victim page id.
+inline constexpr uint64_t kEvictResidentOffset = 0;
+inline constexpr uint64_t kEvictHintOffset = 16 * 1024;
+
+class VirtualAddressSpace {
+ public:
+  VirtualAddressSpace(VasId id, std::string name, size_t resident_limit,
+                      MemorySystem* mem, TxnManager* txn_manager,
+                      const HostCallTable* host, GraftNamespace* ns);
+
+  VirtualAddressSpace(const VirtualAddressSpace&) = delete;
+  VirtualAddressSpace& operator=(const VirtualAddressSpace&) = delete;
+
+  [[nodiscard]] VasId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] size_t resident_count() const { return resident_.size(); }
+  [[nodiscard]] size_t resident_limit() const { return resident_limit_; }
+
+  // The per-VAS eviction graft point, "vas.<id>.evict".
+  [[nodiscard]] FunctionGraftPoint& eviction_point() { return eviction_point_; }
+
+  // Application hint channel: the pages the application wants kept
+  // resident. Mirrored into the eviction graft's arena.
+  void SetPinnedHints(std::vector<PageId> page_ids);
+  [[nodiscard]] const std::vector<PageId>& pinned_hints() const {
+    return pinned_hints_;
+  }
+
+  // Wire/unwire (non-evictable) pages.
+  Status Wire(uint64_t virtual_index);
+  Status Unwire(uint64_t virtual_index);
+
+  [[nodiscard]] Page* FindResident(uint64_t virtual_index);
+  [[nodiscard]] std::vector<PageId> ResidentPageIds() const;
+
+ private:
+  friend class MemorySystem;
+
+  const VasId id_;
+  const std::string name_;
+  const size_t resident_limit_;
+  MemorySystem* mem_;
+  std::unordered_map<uint64_t, Page*> resident_;  // virtual index -> frame.
+  std::vector<PageId> pinned_hints_;
+  FunctionGraftPoint eviction_point_;
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(size_t frame_count, TxnManager* txn_manager,
+               const HostCallTable* host, GraftNamespace* ns);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  // Creates an address space limited to `resident_limit` frames (its share
+  // of physical memory; a graft cannot raise it — third requirement of
+  // §4.2: the graft cannot let the application use more memory than it
+  // would get without one).
+  VirtualAddressSpace* CreateVas(std::string name, size_t resident_limit);
+
+  [[nodiscard]] VirtualAddressSpace* FindVas(VasId id);
+
+  // Touches (reads/writes) a virtual page. A fault allocates a frame,
+  // evicting if the pool is exhausted or the VAS is at its resident limit.
+  // Returns true if the touch faulted (page was not resident).
+  [[nodiscard]] Result<bool> Touch(VasId vas_id, uint64_t virtual_index);
+
+  // One page-daemon step: global victim selection, per-VAS graft
+  // consultation, verification, Cao replacement, eviction.
+  // Fails with kUnavailable if no victim exists (all wired).
+  Status EvictOne();
+
+  // Like EvictOne, but the victim search is restricted to pages owned by
+  // `vas_id` — used when an address space hits its own resident limit, so
+  // its overflow never steals frames from other applications (Rule 8).
+  Status EvictOneFrom(VasId vas_id);
+
+  // The page daemon's periodic sweep ("the pageout daemon runs
+  // asynchronously", §4.2.2): evicts until at least `free_target` frames
+  // are free. Returns kUnavailable if it stalls with every remaining page
+  // wired — the daemon made what progress it could; the caller decides
+  // whether that is an out-of-memory condition.
+  Status RunPageDaemon(size_t free_target);
+
+  [[nodiscard]] PagePool& pool() { return pool_; }
+
+  // Marshals the eviction-graft arguments (resident set + hints) for a
+  // prospective victim without evicting anything. Exposed so the benchmark
+  // harness can price the graft consultation path in isolation.
+  void PrepareEvictionArgs(VirtualAddressSpace& vas, Page* victim,
+                           MemoryImage& arena, uint64_t args[5]) {
+    MarshalEvictionArgs(vas, victim, arena, args);
+  }
+
+  struct Stats {
+    uint64_t faults = 0;
+    uint64_t evictions = 0;
+    uint64_t graft_consultations = 0;
+    uint64_t graft_overrules = 0;  // Graft chose a different page; accepted.
+    uint64_t graft_rejections = 0;  // Graft's choice failed verification.
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  friend class VirtualAddressSpace;
+
+  // Marshals the resident set and hints into the graft arena; returns the
+  // argument vector for the graft invocation.
+  void MarshalEvictionArgs(VirtualAddressSpace& vas, Page* victim,
+                           MemoryImage& arena, uint64_t args[5]);
+
+  // Shared eviction body: graft consultation, verification, Cao swap.
+  Status EvictVictim(Page* victim);
+
+  void EvictPage(Page* page);
+
+  PagePool pool_;
+  TxnManager* txn_manager_;
+  const HostCallTable* host_;
+  GraftNamespace* ns_;
+  VasId next_vas_id_ = 1;
+  std::unordered_map<VasId, std::unique_ptr<VirtualAddressSpace>> vases_;
+  Stats stats_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_MEM_MEMORY_SYSTEM_H_

@@ -1,0 +1,34 @@
+// Physical pages and the global page pool.
+//
+// The VINO virtual memory system (paper §4.2.1) "is based loosely on the
+// Mach VM system": virtual address spaces map memory objects; physical
+// pages live on a global LRU queue from which a global eviction algorithm
+// picks victims.
+
+#ifndef VINOLITE_SRC_MEM_PAGE_H_
+#define VINOLITE_SRC_MEM_PAGE_H_
+
+#include <cstdint>
+
+#include "src/base/intrusive_list.h"
+
+namespace vino {
+
+using PageId = uint64_t;
+using VasId = uint64_t;
+
+inline constexpr uint64_t kPageSize = 4096;
+
+struct Page : ListNode {
+  PageId id = 0;
+  VasId owner = 0;     // 0 = free (no owning address space).
+  bool wired = false;  // Non-evictable.
+  bool resident = false;
+  bool referenced = false;  // Clock-algorithm reference bit.
+  bool dirty = false;
+  uint64_t virtual_index = 0;  // Page index within the owning VAS.
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_MEM_PAGE_H_

@@ -1,0 +1,105 @@
+#include "src/mem/page_pool.h"
+
+namespace vino {
+
+PagePool::PagePool(size_t frame_count) {
+  frames_.reserve(frame_count);
+  free_.reserve(frame_count);
+  for (size_t i = 0; i < frame_count; ++i) {
+    auto page = std::make_unique<Page>();
+    page->id = i + 1;  // Ids start at 1; 0 is "no page".
+    free_.push_back(page.get());
+    frames_.push_back(std::move(page));
+  }
+}
+
+Page* PagePool::Allocate(VasId owner, uint64_t virtual_index) {
+  if (free_.empty()) {
+    return nullptr;
+  }
+  Page* page = free_.back();
+  free_.pop_back();
+  page->owner = owner;
+  page->virtual_index = virtual_index;
+  page->resident = true;
+  page->referenced = true;
+  page->wired = false;
+  page->dirty = false;
+  lru_.PushBack(page);
+  return page;
+}
+
+void PagePool::Free(Page* page) {
+  if (page->linked()) {
+    lru_.Remove(page);
+  }
+  page->owner = 0;
+  page->resident = false;
+  page->wired = false;
+  page->referenced = false;
+  page->dirty = false;
+  free_.push_back(page);
+}
+
+void PagePool::Touch(Page* page) {
+  page->referenced = true;
+  if (page->linked()) {
+    lru_.Remove(page);
+    lru_.PushBack(page);
+  }
+}
+
+Page* PagePool::SelectVictim() {
+  // Clock sweep over the LRU queue: referenced pages get a second chance
+  // (bit cleared, moved to tail); the first unreferenced, unwired page wins.
+  const size_t limit = lru_.size() * 2 + 1;
+  for (size_t i = 0; i < limit; ++i) {
+    Page* front = lru_.Front();
+    if (front == nullptr) {
+      return nullptr;
+    }
+    if (front->wired || front->referenced) {
+      front->referenced = false;
+      lru_.Remove(front);
+      lru_.PushBack(front);
+      continue;
+    }
+    return front;
+  }
+  // Everything wired (or permanently re-referenced): no victim.
+  return nullptr;
+}
+
+Page* PagePool::SelectVictimFrom(VasId owner) {
+  for (Page& page : lru_) {
+    if (page.owner == owner && !page.wired) {
+      return &page;
+    }
+  }
+  return nullptr;
+}
+
+void PagePool::SwapLruPositions(Page* original, Page* replacement) {
+  // `replacement` leaves the queue; `original` takes its slot so the pages
+  // the graft protected do not also gain LRU freshness for free.
+  lru_.Remove(original);
+  lru_.Replace(replacement, original);
+}
+
+Page* PagePool::FindPage(PageId id) {
+  if (id == 0 || id > frames_.size()) {
+    return nullptr;
+  }
+  return frames_[id - 1].get();
+}
+
+std::vector<PageId> PagePool::LruOrder() {
+  std::vector<PageId> out;
+  out.reserve(lru_.size());
+  for (Page& p : lru_) {
+    out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace vino

@@ -1,0 +1,65 @@
+// The global physical page pool: a fixed set of frames, a free list, and
+// the global LRU queue the eviction algorithm scans.
+
+#ifndef VINOLITE_SRC_MEM_PAGE_POOL_H_
+#define VINOLITE_SRC_MEM_PAGE_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/status.h"
+#include "src/mem/page.h"
+
+namespace vino {
+
+class PagePool {
+ public:
+  explicit PagePool(size_t frame_count);
+
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  [[nodiscard]] size_t frame_count() const { return frames_.size(); }
+  [[nodiscard]] size_t free_count() const { return free_.size(); }
+  [[nodiscard]] size_t resident_count() const { return lru_.size(); }
+
+  // Allocates a frame to `owner`; null if none free (caller must evict).
+  Page* Allocate(VasId owner, uint64_t virtual_index);
+
+  // Returns a frame to the free list (eviction or VAS teardown).
+  void Free(Page* page);
+
+  // Marks a use: clears eligibility by moving the page to the LRU tail and
+  // setting its reference bit.
+  void Touch(Page* page);
+
+  // The global algorithm's victim choice: the least-recently-used resident,
+  // non-wired page, with one clock-style second chance for pages whose
+  // reference bit is set. Null if everything is wired.
+  Page* SelectVictim();
+
+  // Victim choice restricted to one address space: the least-recently-used
+  // non-wired page owned by `owner`. Used when a VAS is over its own
+  // resident limit.
+  Page* SelectVictimFrom(VasId owner);
+
+  // Cao-style replacement (paper §4.2.1): `original` keeps residency and
+  // takes over `replacement`'s position in the LRU queue; `replacement`
+  // leaves the queue and is returned to the caller for eviction.
+  void SwapLruPositions(Page* original, Page* replacement);
+
+  [[nodiscard]] Page* FindPage(PageId id);
+
+  // LRU order snapshot (front = next victim candidate), for tests.
+  [[nodiscard]] std::vector<PageId> LruOrder();
+
+ private:
+  std::vector<std::unique_ptr<Page>> frames_;
+  IntrusiveList<Page> lru_;
+  std::vector<Page*> free_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_MEM_PAGE_POOL_H_

@@ -1,0 +1,150 @@
+#include "src/net/net_stack.h"
+
+#include "src/resource/account.h"
+#include "src/txn/accessor.h"
+
+namespace vino {
+
+NetStack::NetStack(TxnManager* txn_manager, HostCallTable* host,
+                   GraftNamespace* ns)
+    : txn_manager_(txn_manager), host_(host), ns_(ns) {
+  // net.recv: r0 = connection id, r1 = arena destination, r2 = max bytes.
+  // Returns the number of bytes copied (0 at end of request).
+  host->Register(
+      "net.recv",
+      [this](HostCallContext& ctx) -> Result<uint64_t> {
+        Connection* conn = FindConnection(ctx.args[0]);
+        if (conn == nullptr || !conn->open) {
+          return Status::kNotFound;
+        }
+        if (ctx.image == nullptr) {
+          return Status::kInvalidArgs;
+        }
+        const uint64_t remaining = conn->rx.size() - conn->rx_consumed;
+        uint64_t n = ctx.args[2] < remaining ? ctx.args[2] : remaining;
+        // The destination must lie inside the caller's arena: a graft must
+        // not use the kernel as a deputy to write kernel memory.
+        if (n > 0 && !ctx.image->InArena(ctx.args[1], n)) {
+          return Status::kPermissionDenied;
+        }
+        if (n > 0) {
+          const Status s =
+              ctx.image->Write(ctx.args[1], conn->rx.data() + conn->rx_consumed, n);
+          if (!IsOk(s)) {
+            return s;
+          }
+          const uint64_t prior = conn->rx_consumed;
+          conn->rx_consumed += n;
+          TxnOnAbort([conn, prior] { conn->rx_consumed = prior; });
+        }
+        return n;
+      },
+      /*graft_callable=*/true);
+
+  // net.send: r0 = connection id, r1 = arena source, r2 = length.
+  // Appends to the response; undo-logged so aborts retract partial output.
+  host->Register(
+      "net.send",
+      [this](HostCallContext& ctx) -> Result<uint64_t> {
+        Connection* conn = FindConnection(ctx.args[0]);
+        if (conn == nullptr || !conn->open) {
+          return Status::kNotFound;
+        }
+        if (ctx.image == nullptr || !ctx.image->InArena(ctx.args[1], ctx.args[2])) {
+          return Status::kPermissionDenied;
+        }
+        const Status charge = ChargeCurrent(ResourceType::kNetBandwidth, ctx.args[2]);
+        if (!IsOk(charge)) {
+          return charge;
+        }
+        std::string bytes(ctx.args[2], '\0');
+        const Status s = ctx.image->Read(ctx.args[1], bytes.data(), bytes.size());
+        if (!IsOk(s)) {
+          return s;
+        }
+        const size_t prior_size = conn->tx.size();
+        conn->tx += bytes;
+        stats_.bytes_sent += bytes.size();
+        TxnOnAbort([conn, prior_size] { conn->tx.resize(prior_size); });
+        return ctx.args[2];
+      },
+      /*graft_callable=*/true);
+
+  // net.close: r0 = connection id.
+  host->Register(
+      "net.close",
+      [this](HostCallContext& ctx) -> Result<uint64_t> {
+        Connection* conn = FindConnection(ctx.args[0]);
+        if (conn == nullptr) {
+          return Status::kNotFound;
+        }
+        if (conn->open) {
+          conn->open = false;
+          TxnOnAbort([conn] { conn->open = true; });
+        }
+        return 0ull;
+      },
+      /*graft_callable=*/true);
+}
+
+EventGraftPoint* NetStack::Listen(const std::string& name) {
+  const auto it = points_.find(name);
+  if (it != points_.end()) {
+    return it->second.get();
+  }
+  auto point = std::make_unique<EventGraftPoint>(name, EventGraftPoint::Config{},
+                                                 txn_manager_, host_, ns_);
+  EventGraftPoint* raw = point.get();
+  points_.emplace(name, std::move(point));
+  return raw;
+}
+
+EventGraftPoint* NetStack::ListenTcp(uint16_t port) {
+  return Listen("net.tcp." + std::to_string(port) + ".connection");
+}
+
+EventGraftPoint* NetStack::ListenUdp(uint16_t port) {
+  return Listen("net.udp." + std::to_string(port) + ".packet");
+}
+
+ConnectionId NetStack::NewConnection(uint16_t port, std::string payload) {
+  const ConnectionId id = next_conn_id_++;
+  auto conn = std::make_unique<Connection>();
+  conn->id = id;
+  conn->port = port;
+  conn->rx = std::move(payload);
+  connections_.emplace(id, std::move(conn));
+  return id;
+}
+
+Result<ConnectionId> NetStack::DeliverConnection(uint16_t port,
+                                                 std::string request) {
+  const auto it = points_.find("net.tcp." + std::to_string(port) + ".connection");
+  if (it == points_.end()) {
+    return Status::kNotFound;
+  }
+  const ConnectionId id = NewConnection(port, std::move(request));
+  ++stats_.connections;
+  const uint64_t args[1] = {id};
+  it->second->Dispatch(args);
+  return id;
+}
+
+Result<ConnectionId> NetStack::DeliverPacket(uint16_t port, std::string payload) {
+  const auto it = points_.find("net.udp." + std::to_string(port) + ".packet");
+  if (it == points_.end()) {
+    return Status::kNotFound;
+  }
+  const ConnectionId id = NewConnection(port, std::move(payload));
+  ++stats_.packets;
+  const uint64_t args[1] = {id};
+  it->second->Dispatch(args);
+  return id;
+}
+
+Connection* NetStack::FindConnection(ConnectionId id) {
+  const auto it = connections_.find(id);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace vino

@@ -1,0 +1,92 @@
+// Minimal network substrate for event grafts (paper §3.5).
+//
+// Models ports, connections, and datagrams. Listening on a port creates an
+// event graft point ("net.tcp.<port>.connection" / "net.udp.<port>.packet");
+// synthetic traffic is delivered through DeliverConnection / DeliverPacket,
+// which dispatch the event to all installed handlers — each in its own
+// transaction, as the paper's worker-thread model prescribes.
+//
+// Grafts interact with connections through three graft-callable host
+// functions the stack registers:
+//   net.recv(conn, dst, max)  - copy request bytes into the graft arena,
+//   net.send(conn, src, len)  - append bytes from the arena to the response
+//                               (charged against kNetBandwidth),
+//   net.close(conn)           - close the connection.
+// net.send is undo-logged: an aborted handler's partial response is
+// discarded, so a crashing HTTP handler never leaks half a reply.
+
+#ifndef VINOLITE_SRC_NET_NET_STACK_H_
+#define VINOLITE_SRC_NET_NET_STACK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "src/graft/event_point.h"
+#include "src/graft/namespace.h"
+#include "src/sfi/host.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+
+using ConnectionId = uint64_t;
+
+struct Connection {
+  ConnectionId id = 0;
+  uint16_t port = 0;
+  bool open = true;
+  std::string rx;          // Bytes from the client (the request).
+  uint64_t rx_consumed = 0;
+  std::string tx;          // Bytes queued to the client (the response).
+};
+
+class NetStack {
+ public:
+  // Registers the net.* host functions into `host` at construction.
+  NetStack(TxnManager* txn_manager, HostCallTable* host, GraftNamespace* ns);
+
+  NetStack(const NetStack&) = delete;
+  NetStack& operator=(const NetStack&) = delete;
+
+  // Creates (or returns) the connection-event point for a TCP port.
+  EventGraftPoint* ListenTcp(uint16_t port);
+  // Creates (or returns) the packet-event point for a UDP port.
+  EventGraftPoint* ListenUdp(uint16_t port);
+
+  // Synthetic traffic injection. Creates a connection carrying `request`
+  // and dispatches the port's connection event with the connection id as
+  // the argument. Returns the id (connection exists even if no handler
+  // consumed it). Fails with kNotFound if nothing listens on the port.
+  Result<ConnectionId> DeliverConnection(uint16_t port, std::string request);
+
+  // Dispatches a UDP packet event; the payload rides in a one-shot
+  // connection-like object.
+  Result<ConnectionId> DeliverPacket(uint16_t port, std::string payload);
+
+  [[nodiscard]] Connection* FindConnection(ConnectionId id);
+
+  struct Stats {
+    uint64_t connections = 0;
+    uint64_t packets = 0;
+    uint64_t bytes_sent = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  EventGraftPoint* Listen(const std::string& name);
+  ConnectionId NewConnection(uint16_t port, std::string payload);
+
+  TxnManager* txn_manager_;
+  const HostCallTable* host_;
+  GraftNamespace* ns_;
+
+  std::unordered_map<std::string, std::unique_ptr<EventGraftPoint>> points_;
+  std::unordered_map<ConnectionId, std::unique_ptr<Connection>> connections_;
+  ConnectionId next_conn_id_ = 1;
+  Stats stats_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_NET_NET_STACK_H_

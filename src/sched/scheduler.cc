@@ -1,0 +1,171 @@
+#include "src/sched/scheduler.h"
+
+#include "src/base/log.h"
+#include "src/graft/namespace.h"
+
+namespace vino {
+
+Scheduler::Scheduler(Params params, ManualClock* clock, TxnManager* txn_manager,
+                     const HostCallTable* host, GraftNamespace* ns)
+    : params_(params),
+      clock_(clock),
+      txn_manager_(txn_manager),
+      host_(host),
+      ns_(ns) {}
+
+KernelThread* Scheduler::CreateThread(std::string name, uint64_t group) {
+  const ThreadId id = next_id_++;
+  auto thread = std::make_unique<KernelThread>(id, std::move(name), group,
+                                               txn_manager_, host_, ns_);
+  KernelThread* raw = thread.get();
+  threads_.emplace(id, std::move(thread));
+  run_queue_.push_back(id);
+  live_ids_.Insert(id);
+  SyncProcessList();
+  return raw;
+}
+
+KernelThread* Scheduler::Find(ThreadId id) {
+  const auto it = threads_.find(id);
+  return it == threads_.end() ? nullptr : it->second.get();
+}
+
+Status Scheduler::Block(ThreadId id) {
+  KernelThread* t = Find(id);
+  if (t == nullptr || t->state_ == ThreadState::kExited) {
+    return Status::kNotFound;
+  }
+  t->state_ = ThreadState::kBlocked;
+  SyncProcessList();
+  return Status::kOk;
+}
+
+Status Scheduler::Wake(ThreadId id) {
+  KernelThread* t = Find(id);
+  if (t == nullptr || t->state_ == ThreadState::kExited) {
+    return Status::kNotFound;
+  }
+  if (t->state_ == ThreadState::kBlocked) {
+    t->state_ = ThreadState::kRunnable;
+    run_queue_.push_back(id);
+  }
+  SyncProcessList();
+  return Status::kOk;
+}
+
+Status Scheduler::Exit(ThreadId id) {
+  KernelThread* t = Find(id);
+  if (t == nullptr) {
+    return Status::kNotFound;
+  }
+  t->state_ = ThreadState::kExited;
+  live_ids_.Remove(id);
+  ns_->Unregister(t->delegate_point().name());
+  SyncProcessList();
+  return Status::kOk;
+}
+
+KernelThread* Scheduler::ScheduleOnce() {
+  // Pop the round-robin candidate, skipping stale queue entries.
+  KernelThread* candidate = nullptr;
+  while (!run_queue_.empty()) {
+    const ThreadId id = run_queue_.front();
+    run_queue_.pop_front();
+    KernelThread* t = Find(id);
+    if (t != nullptr && t->state_ == ThreadState::kRunnable) {
+      candidate = t;
+      break;
+    }
+  }
+  if (candidate == nullptr) {
+    return nullptr;
+  }
+  ++stats_.decisions;
+
+  // Base path (benchmarks): dispatch the candidate with no delegate
+  // consultation at all.
+  if (!params_.consult_delegate) {
+    clock_->Advance(params_.context_switch_cost);
+    candidate->CountDispatch();
+    candidate->AddCpuTime(params_.timeslice);
+    clock_->Advance(params_.timeslice);
+    run_queue_.push_back(candidate->id());
+    return candidate;
+  }
+
+  // Run the candidate's schedule-delegate (grafted or default), passing the
+  // candidate's own id. Program grafts additionally get the process list
+  // marshalled into their arena.
+  uint64_t args[3] = {candidate->id(), 0, 0};
+  std::shared_ptr<Graft> graft = candidate->delegate_point().current_graft();
+  if (graft != nullptr && !graft->is_native()) {
+    MemoryImage& arena = graft->image();
+    const uint64_t base = arena.arena_base() + kDelegateListOffset;
+    uint64_t count = 0;
+    {
+      TxnLockGuard guard(process_list_.lock());
+      const auto& entries = process_list_.entries();
+      const uint64_t max_entries = (arena.arena_size() - 8) / 8;
+      count = entries.size() < max_entries ? entries.size() : max_entries;
+      (void)arena.WriteU64(base, count);
+      for (uint64_t i = 0; i < count; ++i) {
+        (void)arena.WriteU64(base + 8 + i * 8, entries[i].id);
+      }
+    }
+    args[1] = base + 8;
+    args[2] = count;
+  }
+  const uint64_t chosen_id = candidate->delegate_point().Invoke(args);
+
+  // Verify the returned id: live (hash-table probe), runnable, and in the
+  // candidate's scheduling group. Anything else falls back to the
+  // candidate — a malicious delegate cannot steal time from strangers.
+  KernelThread* target = candidate;
+  if (chosen_id != candidate->id()) {
+    KernelThread* delegate = ValidThreadId(chosen_id) ? Find(chosen_id) : nullptr;
+    if (delegate != nullptr && delegate->state_ == ThreadState::kRunnable &&
+        delegate->group() == candidate->group()) {
+      // The donation gives the delegate this slice *in addition to* its own
+      // queue slot — "the server process should be given a proportionally
+      // larger share of the total CPU" (§4.3). Only group members can
+      // receive, so the inflation is confined to the consenting group.
+      target = delegate;
+      ++stats_.delegations;
+    } else {
+      ++stats_.invalid_delegations;
+      VINO_LOG_DEBUG << "sched: delegate returned invalid thread " << chosen_id;
+    }
+  }
+
+  // Dispatch: charge the (simulated) context switch and the timeslice.
+  clock_->Advance(params_.context_switch_cost);
+  target->CountDispatch();
+  target->AddCpuTime(params_.timeslice);
+  clock_->Advance(params_.timeslice);
+
+  // Candidate (or its delegate) goes to the back of the queue.
+  run_queue_.push_back(candidate->id());
+  return target;
+}
+
+void Scheduler::Run(uint64_t n) {
+  for (uint64_t i = 0; i < n; ++i) {
+    if (ScheduleOnce() == nullptr) {
+      return;
+    }
+  }
+}
+
+void Scheduler::SyncProcessList() {
+  TxnLockGuard guard(process_list_.lock());
+  auto& entries = process_list_.entries();
+  entries.clear();
+  entries.reserve(threads_.size());
+  for (const auto& [id, thread] : threads_) {
+    if (thread->state_ != ThreadState::kExited) {
+      entries.push_back(ProcessList::Entry{id, thread->group(), thread->state_});
+    }
+  }
+}
+
+}  // namespace vino

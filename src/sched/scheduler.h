@@ -1,0 +1,129 @@
+// The CPU scheduler substrate (paper §4.3).
+//
+// Round-robin over runnable threads in virtual time. When a thread is
+// chosen, its schedule-delegate graft point runs; the graft may return the
+// id of a *different* thread to run instead — e.g. a blocked database
+// client donating its timeslice to the server. The returned id is verified
+// "by probing a hash table containing the valid thread IDs", and the
+// delegate target must additionally be runnable and in the same scheduling
+// group as the donor (Cao's principle / Rule 8: an application-specific
+// policy must not affect applications that did not opt in).
+
+#ifndef VINOLITE_SRC_SCHED_SCHEDULER_H_
+#define VINOLITE_SRC_SCHED_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/sched/thread.h"
+#include "src/sfi/callable_table.h"
+#include "src/txn/txn_lock.h"
+
+namespace vino {
+
+// The process list the paper's example scheduling graft walks ("scans a
+// process list of 64 entries"). Guarded by a TxnLock so grafts acquire a
+// transaction lock to traverse it, as in Table 5's lock-overhead row.
+class ProcessList {
+ public:
+  ProcessList() : lock_("sched.process-list") {}
+
+  struct Entry {
+    ThreadId id;
+    uint64_t group;
+    ThreadState state;
+  };
+
+  [[nodiscard]] TxnLock& lock() { return lock_; }
+  [[nodiscard]] std::vector<Entry>& entries() { return entries_; }
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  TxnLock lock_;
+  std::vector<Entry> entries_;
+};
+
+class Scheduler {
+ public:
+  struct Params {
+    Micros timeslice = 10'000;         // 10 ms, as in the paper.
+    Micros context_switch_cost = 27;   // Simulated one-way switch cost (µs).
+
+    // When false, ScheduleOnce dispatches the round-robin candidate
+    // directly, skipping the schedule-delegate consultation entirely. This
+    // is the benchmark's "base path" (all graft support removed).
+    bool consult_delegate = true;
+  };
+
+  // Graft-arena protocol for program-backed delegate grafts: before each
+  // consultation the kernel marshals the process list into the graft arena —
+  // u64 count at kDelegateListOffset, then `count` u64 thread ids.
+  // Graft arguments: r0 = candidate thread id, r1 = list address,
+  // r2 = entry count. Return: the thread id to run.
+  static constexpr uint64_t kDelegateListOffset = 0;
+
+  Scheduler(Params params, ManualClock* clock, TxnManager* txn_manager,
+            const HostCallTable* host, GraftNamespace* ns);
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  // Creates a thread in `group`; it is immediately runnable.
+  KernelThread* CreateThread(std::string name, uint64_t group);
+
+  // State transitions.
+  Status Block(ThreadId id);
+  Status Wake(ThreadId id);
+  Status Exit(ThreadId id);
+
+  [[nodiscard]] KernelThread* Find(ThreadId id);
+
+  // True iff `id` names a live thread — the hash-table probe the paper's
+  // result checking uses.
+  [[nodiscard]] bool ValidThreadId(ThreadId id) const {
+    return live_ids_.Contains(id);
+  }
+
+  // One scheduling decision: pick the round-robin candidate, run its
+  // schedule-delegate graft, verify the answer, charge the context switch,
+  // and advance virtual time by one timeslice for the dispatched thread.
+  // Returns the dispatched thread, or null if nothing is runnable.
+  KernelThread* ScheduleOnce();
+
+  // Convenience: run `n` scheduling decisions.
+  void Run(uint64_t n);
+
+  // The process list mirrors live threads; kept in sync by Create/Exit and
+  // state transitions.
+  [[nodiscard]] ProcessList& process_list() { return process_list_; }
+
+  struct Stats {
+    uint64_t decisions = 0;
+    uint64_t delegations = 0;        // Graft redirected the timeslice.
+    uint64_t invalid_delegations = 0;  // Graft result failed verification.
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void SyncProcessList();
+
+  const Params params_;
+  ManualClock* clock_;
+  TxnManager* txn_manager_;
+  const HostCallTable* host_;
+  GraftNamespace* ns_;
+
+  ThreadId next_id_ = 1;
+  std::unordered_map<ThreadId, std::unique_ptr<KernelThread>> threads_;
+  std::deque<ThreadId> run_queue_;
+  CallableTable live_ids_;
+  ProcessList process_list_;
+  Stats stats_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SCHED_SCHEDULER_H_

@@ -1,0 +1,18 @@
+#include "src/sched/thread.h"
+
+namespace vino {
+
+KernelThread::KernelThread(ThreadId id, std::string name, uint64_t group,
+                           TxnManager* txn_manager, const HostCallTable* host,
+                           GraftNamespace* ns)
+    : id_(id),
+      name_(std::move(name)),
+      group_(group),
+      account_(name_ + ".account"),
+      delegate_point_(
+          "thread." + std::to_string(id) + ".schedule-delegate",
+          // Default schedule-delegate: run the selected thread itself.
+          [id](std::span<const uint64_t>) -> uint64_t { return id; },
+          FunctionGraftPoint::Config{}, txn_manager, host, ns) {}
+
+}  // namespace vino

@@ -1,0 +1,78 @@
+// Simulated kernel threads.
+//
+// The scheduler substrate models VINO's kernel threads in virtual time:
+// each KernelThread is a schedulable entity with a state, a scheduling
+// group, a resource account, and a per-thread schedule-delegate graft point
+// (paper §4.3: "Each user-level process has associated with it a
+// kernel-level thread. When the kernel thread is chosen to be run next, its
+// schedule-delegate function is run.").
+
+#ifndef VINOLITE_SRC_SCHED_THREAD_H_
+#define VINOLITE_SRC_SCHED_THREAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+#include "src/graft/function_point.h"
+#include "src/resource/account.h"
+
+namespace vino {
+
+using ThreadId = uint64_t;
+
+enum class ThreadState : uint8_t {
+  kRunnable,
+  kRunning,
+  kBlocked,
+  kExited,
+};
+
+class Scheduler;
+
+class KernelThread {
+ public:
+  KernelThread(ThreadId id, std::string name, uint64_t group,
+               TxnManager* txn_manager, const HostCallTable* host,
+               GraftNamespace* ns);
+
+  KernelThread(const KernelThread&) = delete;
+  KernelThread& operator=(const KernelThread&) = delete;
+
+  [[nodiscard]] ThreadId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] uint64_t group() const { return group_; }
+  [[nodiscard]] ThreadState state() const { return state_; }
+  [[nodiscard]] ResourceAccount& account() { return account_; }
+
+  // The schedule-delegate graft point, registered in the namespace as
+  // "thread.<id>.schedule-delegate". The default implementation returns the
+  // thread's own id ("instructions to run the selected thread").
+  [[nodiscard]] FunctionGraftPoint& delegate_point() { return delegate_point_; }
+
+  // Virtual CPU time consumed, in microseconds.
+  [[nodiscard]] Micros cpu_time() const { return cpu_time_; }
+  void AddCpuTime(Micros t) { cpu_time_ += t; }
+
+  // Number of times this thread was actually dispatched.
+  [[nodiscard]] uint64_t dispatches() const { return dispatches_; }
+  void CountDispatch() { ++dispatches_; }
+
+ private:
+  friend class Scheduler;
+
+  const ThreadId id_;
+  const std::string name_;
+  const uint64_t group_;
+  ThreadState state_ = ThreadState::kRunnable;
+  ResourceAccount account_;
+  FunctionGraftPoint delegate_point_;
+  Micros cpu_time_ = 0;
+  uint64_t dispatches_ = 0;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SCHED_THREAD_H_

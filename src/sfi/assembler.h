@@ -1,0 +1,117 @@
+// Two ways to author graft programs:
+//  * Asm       - a C++ builder with labels, used by tests, benches, and the
+//                kernel's own default-policy programs.
+//  * Assemble  - a small text assembler so example grafts can be written as
+//                source (one instruction per line, `;` comments, labels as
+//                `name:`, host functions called by name).
+
+#ifndef VINOLITE_SRC_SFI_ASSEMBLER_H_
+#define VINOLITE_SRC_SFI_ASSEMBLER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sfi/host.h"
+#include "src/sfi/program.h"
+
+namespace vino {
+
+// Strongly typed register operand (prevents swapping a register index with
+// an immediate at a call site).
+struct Reg {
+  uint8_t index;
+};
+
+inline constexpr Reg R0{0}, R1{1}, R2{2}, R3{3}, R4{4}, R5{5}, R6{6}, R7{7},
+    R8{8}, R9{9}, R10{10}, R11{11};
+
+class Asm {
+ public:
+  explicit Asm(std::string name) { program_.name = std::move(name); }
+
+  // --- Labels ---------------------------------------------------------
+  // Forward references are allowed; Finish() patches them.
+  struct Label {
+    size_t id;
+  };
+  Label NewLabel();
+  void Bind(Label label);
+
+  // --- Instructions ---------------------------------------------------
+  Asm& Nop();
+  Asm& Halt();
+  Asm& LoadImm(Reg rd, int64_t imm);
+  Asm& Mov(Reg rd, Reg rs);
+
+  Asm& Add(Reg rd, Reg a, Reg b);
+  Asm& Sub(Reg rd, Reg a, Reg b);
+  Asm& Mul(Reg rd, Reg a, Reg b);
+  Asm& DivU(Reg rd, Reg a, Reg b);
+  Asm& RemU(Reg rd, Reg a, Reg b);
+  Asm& And(Reg rd, Reg a, Reg b);
+  Asm& Or(Reg rd, Reg a, Reg b);
+  Asm& Xor(Reg rd, Reg a, Reg b);
+  Asm& Shl(Reg rd, Reg a, Reg b);
+  Asm& Shr(Reg rd, Reg a, Reg b);
+  Asm& Sar(Reg rd, Reg a, Reg b);
+
+  Asm& AddI(Reg rd, Reg a, int64_t imm);
+  Asm& MulI(Reg rd, Reg a, int64_t imm);
+  Asm& AndI(Reg rd, Reg a, int64_t imm);
+  Asm& OrI(Reg rd, Reg a, int64_t imm);
+  Asm& XorI(Reg rd, Reg a, int64_t imm);
+  Asm& ShlI(Reg rd, Reg a, int64_t imm);
+  Asm& ShrI(Reg rd, Reg a, int64_t imm);
+
+  Asm& Ld8(Reg rd, Reg addr, int64_t off = 0);
+  Asm& Ld16(Reg rd, Reg addr, int64_t off = 0);
+  Asm& Ld32(Reg rd, Reg addr, int64_t off = 0);
+  Asm& Ld64(Reg rd, Reg addr, int64_t off = 0);
+  Asm& St8(Reg addr, Reg val, int64_t off = 0);
+  Asm& St16(Reg addr, Reg val, int64_t off = 0);
+  Asm& St32(Reg addr, Reg val, int64_t off = 0);
+  Asm& St64(Reg addr, Reg val, int64_t off = 0);
+
+  Asm& Jmp(Label target);
+  Asm& Beq(Reg a, Reg b, Label target);
+  Asm& Bne(Reg a, Reg b, Label target);
+  Asm& BltU(Reg a, Reg b, Label target);
+  Asm& BgeU(Reg a, Reg b, Label target);
+  Asm& BltS(Reg a, Reg b, Label target);
+  Asm& BgeS(Reg a, Reg b, Label target);
+
+  Asm& Call(uint32_t host_fn_id);
+  Asm& CallR(Reg target_id);
+
+  // Escape hatch for tests that need to hand-craft (possibly invalid)
+  // instructions, e.g. to verify the verifier rejects them.
+  Asm& Raw(Instruction ins);
+
+  // Patches labels and returns the program. Verifies structure; a program
+  // with unbound labels or verification failures returns the error instead.
+  [[nodiscard]] Result<Program> Finish();
+
+  // Current instruction index (useful for size accounting in tests).
+  [[nodiscard]] size_t size() const { return program_.code.size(); }
+
+ private:
+  Asm& Emit(Op op, uint8_t rd, uint8_t rs1, uint8_t rs2, int64_t imm);
+  Asm& EmitBranch(Op op, uint8_t rs1, uint8_t rs2, Label target);
+
+  Program program_;
+  std::vector<int64_t> label_pos_;            // -1 = unbound
+  std::vector<std::pair<size_t, size_t>> fixups_;  // (instr index, label id)
+};
+
+// Text assembler. `host` resolves `call` targets by name; pass nullptr to
+// require numeric ids. Returns kBadGraft with a diagnostic via VINO_LOG on
+// syntax errors.
+[[nodiscard]] Result<Program> Assemble(std::string_view source, std::string name,
+                                       const HostCallTable* host);
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_ASSEMBLER_H_

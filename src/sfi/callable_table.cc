@@ -1,0 +1,72 @@
+#include "src/sfi/callable_table.h"
+
+#include <bit>
+#include <cassert>
+
+namespace vino {
+
+CallableTable::CallableTable(size_t initial_capacity) {
+  size_t cap = std::bit_ceil(initial_capacity < 16 ? size_t{16} : initial_capacity);
+  slots_.assign(cap, kEmpty);
+}
+
+void CallableTable::Insert(uint64_t key) {
+  assert(key != kEmpty && key != kTombstone && "reserved key values");
+  if ((used_ + 1) * 2 > slots_.size()) {
+    Grow();
+  }
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(MixU64(key)) & mask;
+  size_t first_tombstone = slots_.size();
+  while (true) {
+    const uint64_t s = slots_[i];
+    if (s == key) {
+      return;  // Already present.
+    }
+    if (s == kTombstone && first_tombstone == slots_.size()) {
+      first_tombstone = i;
+    }
+    if (s == kEmpty) {
+      if (first_tombstone != slots_.size()) {
+        slots_[first_tombstone] = key;
+      } else {
+        slots_[i] = key;
+        ++used_;
+      }
+      ++count_;
+      return;
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void CallableTable::Remove(uint64_t key) {
+  const size_t mask = slots_.size() - 1;
+  size_t i = static_cast<size_t>(MixU64(key)) & mask;
+  while (true) {
+    const uint64_t s = slots_[i];
+    if (s == key) {
+      slots_[i] = kTombstone;
+      --count_;
+      return;
+    }
+    if (s == kEmpty) {
+      return;  // Not present.
+    }
+    i = (i + 1) & mask;
+  }
+}
+
+void CallableTable::Grow() {
+  std::vector<uint64_t> old = std::move(slots_);
+  slots_.assign(old.size() * 2, kEmpty);
+  count_ = 0;
+  used_ = 0;
+  for (const uint64_t s : old) {
+    if (s != kEmpty && s != kTombstone) {
+      Insert(s);
+    }
+  }
+}
+
+}  // namespace vino

@@ -1,0 +1,67 @@
+// Sparse open-addressing hash table of graft-callable function ids.
+//
+// Paper §3.3: "Indirect function calls ... are checked at run-time by looking
+// up the address of the target function in a hash table containing the
+// addresses of all graft-callable functions. ... Through the use of a sparse
+// open hash table we find our average cost is ten to fifteen cycles per
+// indirect function call."
+//
+// The same structure backs the scheduler's thread-id validity check (§4.3:
+// "probing a hash table containing the valid thread IDs").
+
+#ifndef VINOLITE_SRC_SFI_CALLABLE_TABLE_H_
+#define VINOLITE_SRC_SFI_CALLABLE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/hash.h"
+
+namespace vino {
+
+class CallableTable {
+ public:
+  // Capacity is rounded up to a power of two and kept sparse: the table grows
+  // when load factor would exceed 1/2.
+  explicit CallableTable(size_t initial_capacity = 64);
+
+  // Inserts a key. Keys are arbitrary non-zero 64-bit ids (zero is reserved
+  // as the empty slot marker). Duplicate inserts are no-ops.
+  void Insert(uint64_t key);
+
+  // Removes a key if present (used when a graft point is torn down).
+  void Remove(uint64_t key);
+
+  // The hot-path probe. Open addressing with linear probing over a sparse
+  // table: expected one or two slot touches.
+  [[nodiscard]] bool Contains(uint64_t key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = static_cast<size_t>(MixU64(key)) & mask;
+    while (true) {
+      const uint64_t s = slots_[i];
+      if (s == key) {
+        return true;
+      }
+      if (s == kEmpty) {
+        return false;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+
+  [[nodiscard]] size_t size() const { return count_; }
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+  static constexpr uint64_t kTombstone = ~0ull;
+
+  void Grow();
+
+  std::vector<uint64_t> slots_;
+  size_t count_ = 0;
+  size_t used_ = 0;  // Non-empty slots including tombstones.
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_CALLABLE_TABLE_H_

@@ -1,0 +1,138 @@
+#include "src/sfi/disasm.h"
+
+#include <set>
+#include <sstream>
+
+namespace vino {
+namespace {
+
+std::string RegName(uint8_t r) { return "r" + std::to_string(r); }
+
+}  // namespace
+
+std::string DisassembleInstruction(const Instruction& ins,
+                                   const DisasmOptions& options) {
+  std::ostringstream out;
+  out << OpName(ins.op);
+  switch (ins.op) {
+    case Op::kNop:
+    case Op::kHalt:
+      break;
+    case Op::kLoadImm:
+      out << " " << RegName(ins.rd) << ", " << ins.imm;
+      break;
+    case Op::kMov:
+      out << " " << RegName(ins.rd) << ", " << RegName(ins.rs1);
+      break;
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kMul:
+    case Op::kDivU:
+    case Op::kRemU:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kSar:
+      out << " " << RegName(ins.rd) << ", " << RegName(ins.rs1) << ", "
+          << RegName(ins.rs2);
+      break;
+    case Op::kAddI:
+    case Op::kMulI:
+    case Op::kAndI:
+    case Op::kOrI:
+    case Op::kXorI:
+    case Op::kShlI:
+    case Op::kShrI:
+      out << " " << RegName(ins.rd) << ", " << RegName(ins.rs1) << ", " << ins.imm;
+      break;
+    case Op::kLd8:
+    case Op::kLd16:
+    case Op::kLd32:
+    case Op::kLd64:
+      out << " " << RegName(ins.rd) << ", " << RegName(ins.rs1);
+      if (ins.imm != 0) {
+        out << ", " << ins.imm;
+      }
+      break;
+    case Op::kSt8:
+    case Op::kSt16:
+    case Op::kSt32:
+    case Op::kSt64:
+      out << " " << RegName(ins.rs1) << ", " << RegName(ins.rs2);
+      if (ins.imm != 0) {
+        out << ", " << ins.imm;
+      }
+      break;
+    case Op::kJmp:
+      out << " L" << ins.imm;
+      break;
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kBltU:
+    case Op::kBgeU:
+    case Op::kBltS:
+    case Op::kBgeS:
+      out << " " << RegName(ins.rs1) << ", " << RegName(ins.rs2) << ", L" << ins.imm;
+      break;
+    case Op::kCall: {
+      out << " ";
+      const HostCallTable::Entry* entry =
+          options.host != nullptr
+              ? options.host->Lookup(static_cast<uint32_t>(ins.imm))
+              : nullptr;
+      if (entry != nullptr) {
+        out << entry->name;
+      } else {
+        out << ins.imm;
+      }
+      break;
+    }
+    case Op::kCallR:
+    case Op::kCheckedCallR:
+      out << " " << RegName(ins.rs1);
+      break;
+    case Op::kSandboxAddr:
+      out << " " << RegName(ins.rd) << ", " << RegName(ins.rs1);
+      if (ins.imm != 0) {
+        out << ", " << ins.imm;
+      }
+      out << "   ; misfit";
+      break;
+    default:
+      out << " ?";
+      break;
+  }
+  return out.str();
+}
+
+std::string Disassemble(const Program& program, const DisasmOptions& options) {
+  // Collect branch targets for label synthesis.
+  std::set<int64_t> targets;
+  for (const Instruction& ins : program.code) {
+    if (IsBranch(ins.op)) {
+      targets.insert(ins.imm);
+    }
+  }
+
+  std::ostringstream out;
+  out << "; program: " << program.name;
+  if (program.instrumented) {
+    out << "  (MiSFIT-instrumented, sandbox 2^" << program.sandbox_log2 << ")";
+  }
+  out << "\n";
+  for (size_t i = 0; i < program.code.size(); ++i) {
+    if (targets.count(static_cast<int64_t>(i)) != 0) {
+      out << "L" << i << ":\n";
+    }
+    out << "  ";
+    if (options.line_numbers) {
+      out << "; " << i << ":\n  ";
+    }
+    out << DisassembleInstruction(program.code[i], options) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace vino

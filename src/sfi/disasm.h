@@ -1,0 +1,37 @@
+// Disassembler: renders a Program back into the text-assembler syntax.
+//
+// Used for diagnostics (dumping what the loader actually accepted), for
+// inspecting what the MiSFIT pass inserted, and for round-trip testing of
+// the assembler. Instrumented programs disassemble with the sandbox ops
+// visible (annotated), though such text cannot be re-assembled — the text
+// assembler refuses instrumentation mnemonics by design.
+
+#ifndef VINOLITE_SRC_SFI_DISASM_H_
+#define VINOLITE_SRC_SFI_DISASM_H_
+
+#include <string>
+
+#include "src/sfi/host.h"
+#include "src/sfi/program.h"
+
+namespace vino {
+
+struct DisasmOptions {
+  // Annotate call targets with host-function names when a table is given.
+  const HostCallTable* host = nullptr;
+  // Emit "; idx:" line-number comments.
+  bool line_numbers = false;
+};
+
+// Disassembles one instruction (no trailing newline).
+[[nodiscard]] std::string DisassembleInstruction(const Instruction& ins,
+                                                 const DisasmOptions& options);
+
+// Disassembles a whole program, synthesizing labels (L<target>) for branch
+// targets so the output is Assemble()-compatible for uninstrumented code.
+[[nodiscard]] std::string Disassemble(const Program& program,
+                                      const DisasmOptions& options = DisasmOptions{});
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_DISASM_H_

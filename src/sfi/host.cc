@@ -1,0 +1,32 @@
+#include "src/sfi/host.h"
+
+#include <utility>
+
+namespace vino {
+
+uint32_t HostCallTable::Register(std::string name, HostFn fn, bool graft_callable) {
+  const auto id = static_cast<uint32_t>(entries_.size() + 1);
+  by_name_.emplace(name, id);
+  entries_.push_back(Entry{std::move(name), std::move(fn), graft_callable});
+  if (graft_callable) {
+    callable_.Insert(id);
+  }
+  return id;
+}
+
+const HostCallTable::Entry* HostCallTable::Lookup(uint32_t id) const {
+  if (id == 0 || id > entries_.size()) {
+    return nullptr;
+  }
+  return &entries_[id - 1];
+}
+
+Result<uint32_t> HostCallTable::IdOf(std::string_view name) const {
+  const auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second;
+}
+
+}  // namespace vino

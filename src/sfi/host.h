@@ -1,0 +1,92 @@
+// The host-function interface between grafts and the kernel.
+//
+// Graft-callable kernel routines are registered here by kernel subsystems.
+// Paper §3.3: "VINO kernel developers maintain a list of graft-callable
+// functions. Only functions on this list may be called from grafts."
+// Functions can also be registered as *not* graft-callable (internal kernel
+// entry points); the dynamic linker and the run-time callable check both
+// refuse them, which is how Rules 4/7 of Table 1 are enforced.
+
+#ifndef VINOLITE_SRC_SFI_HOST_H_
+#define VINOLITE_SRC_SFI_HOST_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sfi/callable_table.h"
+#include "src/sfi/isa.h"
+#include "src/sfi/memory_image.h"
+
+namespace vino {
+
+// Identity a graft runs with: "A graft is run with the user identity of
+// the process that installs it; graft-callable functions are responsible
+// for checking that the user has been granted access to files, memory, and
+// devices that the graft attempts to use." (§3.3)
+struct CallerIdentity {
+  uint64_t uid = 0;
+  bool privileged = false;
+};
+
+// Arguments a host function receives from a graft: the six argument
+// registers, access to the caller's memory image (for exchanging data
+// through the graft arena), and the installing user's identity for
+// permission checks. Host functions must treat `args` as untrusted and
+// validate everything, exactly as system calls do (paper §3.3).
+struct HostCallContext {
+  std::array<uint64_t, kMaxArgs> args{};
+  MemoryImage* image = nullptr;
+  CallerIdentity identity{};
+};
+
+// Returns the value for r0, or a Status that aborts the graft invocation.
+using HostFn = std::function<Result<uint64_t>(HostCallContext&)>;
+
+class HostCallTable {
+ public:
+  HostCallTable() = default;
+  HostCallTable(const HostCallTable&) = delete;
+  HostCallTable& operator=(const HostCallTable&) = delete;
+
+  // Registers a host function; returns its id (ids start at 1; 0 is the
+  // reserved "null" id). `graft_callable` controls membership in the
+  // callable list/hash table.
+  uint32_t Register(std::string name, HostFn fn, bool graft_callable);
+
+  struct Entry {
+    std::string name;
+    HostFn fn;
+    bool graft_callable = false;
+  };
+
+  // Null if `id` was never registered.
+  [[nodiscard]] const Entry* Lookup(uint32_t id) const;
+
+  // Name-based lookup for the text assembler's `call` mnemonics.
+  [[nodiscard]] Result<uint32_t> IdOf(std::string_view name) const;
+
+  [[nodiscard]] bool IsCallable(uint32_t id) const {
+    return id != 0 && callable_.Contains(id);
+  }
+
+  // The sparse open hash table probed on every indirect call. Exposed for
+  // the SFI microbenchmark (10-15 cycle probe claim).
+  [[nodiscard]] const CallableTable& callable_table() const { return callable_; }
+
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;  // index = id - 1
+  std::unordered_map<std::string, uint32_t> by_name_;
+  CallableTable callable_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_HOST_H_

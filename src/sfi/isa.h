@@ -1,0 +1,132 @@
+// The graft virtual ISA.
+//
+// The paper's grafts are C++ compiled to i386 and rewritten by MiSFIT.
+// We reproduce the *mechanism* on a small register-based virtual ISA:
+// grafts are authored against this ISA (via the builder or text assembler),
+// instrumented by our MiSFIT pass (src/sfi/misfit.h), and executed by the
+// interpreter (src/sfi/vm.h). The unsafe/safe measurement paths of the paper
+// map to executing a program before/after instrumentation.
+//
+// Register file: 16 general registers r0..r15.
+//   r0        return value; also first argument slot.
+//   r1..r5    argument slots 2..6.
+//   r12..r15  RESERVED for the MiSFIT pass (sandbox mask, base, and scratch
+//             address registers). Source programs that touch them are
+//             rejected by the instrumenter — this is the classic Wahbe-style
+//             dedicated-register argument that makes the sandbox jump-proof.
+//
+// Memory operands are 64-bit virtual addresses into a MemoryImage.
+// Control flow targets are absolute instruction indices.
+
+#ifndef VINOLITE_SRC_SFI_ISA_H_
+#define VINOLITE_SRC_SFI_ISA_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace vino {
+
+inline constexpr int kNumRegisters = 16;
+
+// Registers reserved for instrumentation.
+inline constexpr uint8_t kSandboxMaskReg = 12;
+inline constexpr uint8_t kSandboxBaseReg = 13;
+inline constexpr uint8_t kSandboxAddrReg = 14;
+inline constexpr uint8_t kScratchReg = 15;
+inline constexpr uint8_t kFirstReservedReg = 12;
+
+// Maximum number of argument registers (r0..r5).
+inline constexpr int kMaxArgs = 6;
+
+enum class Op : uint8_t {
+  kNop = 0,
+  kHalt,     // Stop; r0 is the program's return value.
+
+  // Data movement.
+  kLoadImm,  // rd <- imm
+  kMov,      // rd <- rs1
+
+  // Register-register ALU.
+  kAdd,   // rd <- rs1 + rs2
+  kSub,   // rd <- rs1 - rs2
+  kMul,   // rd <- rs1 * rs2
+  kDivU,  // rd <- rs1 / rs2 (0 if rs2 == 0)
+  kRemU,  // rd <- rs1 % rs2 (0 if rs2 == 0)
+  kAnd,   // rd <- rs1 & rs2
+  kOr,    // rd <- rs1 | rs2
+  kXor,   // rd <- rs1 ^ rs2
+  kShl,   // rd <- rs1 << (rs2 & 63)
+  kShr,   // rd <- rs1 >> (rs2 & 63), logical
+  kSar,   // rd <- rs1 >> (rs2 & 63), arithmetic
+
+  // Register-immediate ALU.
+  kAddI,  // rd <- rs1 + imm
+  kMulI,  // rd <- rs1 * imm
+  kAndI,  // rd <- rs1 & imm
+  kOrI,   // rd <- rs1 | imm
+  kXorI,  // rd <- rs1 ^ imm
+  kShlI,  // rd <- rs1 << (imm & 63)
+  kShrI,  // rd <- rs1 >> (imm & 63)
+
+  // Memory. Effective address is rs1 + imm.
+  kLd8,   // rd <- zx(mem8[ea])
+  kLd16,  // rd <- zx(mem16[ea])
+  kLd32,  // rd <- zx(mem32[ea])
+  kLd64,  // rd <- mem64[ea]
+  kSt8,   // mem8[ea] <- rs2
+  kSt16,  // mem16[ea] <- rs2
+  kSt32,  // mem32[ea] <- rs2
+  kSt64,  // mem64[ea] <- rs2
+
+  // Control flow. imm is an absolute instruction index.
+  kJmp,   // pc <- imm
+  kBeq,   // if rs1 == rs2: pc <- imm
+  kBne,   // if rs1 != rs2
+  kBltU,  // if rs1 <  rs2 (unsigned)
+  kBgeU,  // if rs1 >= rs2 (unsigned)
+  kBltS,  // if rs1 <  rs2 (signed)
+  kBgeS,  // if rs1 >= rs2 (signed)
+
+  // Host interface. Direct calls name a host function id in imm; the id set
+  // is checked against the graft-callable list at link time (paper §3.3).
+  // Indirect calls take the id from rs1 and, after instrumentation, are
+  // checked against the callable hash table at run time.
+  kCall,   // r0 <- host[imm](r0..r5)
+  kCallR,  // r0 <- host[rs1](r0..r5)   -- rewritten by MiSFIT
+
+  // Instrumentation-inserted opcodes. Source programs may not use these;
+  // the instrumenter rejects programs that do (forgery attempt).
+  kSandboxAddr,   // rd <- ((rs1 + imm) & rMask) | rBase
+  kCheckedCallR,  // like kCallR, but probes the callable table first
+
+  kOpCount,
+};
+
+// One decoded instruction. Fixed 16-byte layout keeps encode/decode trivial.
+struct Instruction {
+  Op op = Op::kNop;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int64_t imm = 0;
+
+  bool operator==(const Instruction&) const = default;
+};
+
+// Mnemonic for diagnostics and the text assembler. Returns "?" if invalid.
+[[nodiscard]] std::string_view OpName(Op op);
+
+// Reverse lookup for the text assembler. Returns kOpCount if unknown.
+[[nodiscard]] Op OpFromName(std::string_view name);
+
+// Instruction classification helpers used by the verifier and instrumenter.
+[[nodiscard]] bool IsLoad(Op op);
+[[nodiscard]] bool IsStore(Op op);
+[[nodiscard]] bool IsBranch(Op op);   // Conditional branches and kJmp.
+[[nodiscard]] bool ReadsRs1(Op op);
+[[nodiscard]] bool ReadsRs2(Op op);
+[[nodiscard]] bool WritesRd(Op op);
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_ISA_H_

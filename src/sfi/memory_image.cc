@@ -1,0 +1,42 @@
+#include "src/sfi/memory_image.h"
+
+#include <cassert>
+
+namespace vino {
+
+MemoryImage::MemoryImage(uint64_t kernel_size, uint32_t arena_log2) {
+  assert(arena_log2 >= 4 && arena_log2 <= 30 && "arena must be 16B..1GiB");
+  arena_log2_ = arena_log2;
+  arena_size_ = uint64_t{1} << arena_log2;
+  kernel_size_ = kernel_size;
+  // Align the arena base up to its size so that masking works:
+  // (addr & (size-1)) | base stays within [base, base+size).
+  arena_base_ = (kernel_size + arena_size_ - 1) & ~(arena_size_ - 1);
+  if (arena_base_ == 0) {
+    // Keep address 0 out of the arena so null-ish pointers stay detectable
+    // in unsafe mode and the kernel region is never empty.
+    arena_base_ = arena_size_;
+  }
+  // 8 guard bytes: a sandboxed 64-bit access at the arena's final byte is
+  // wide enough to spill past the end; the guard keeps it inside the image
+  // (classic SFI tolerates this — confinement is to arena + a few bytes).
+  bytes_.assign(arena_base_ + arena_size_ + 8, 0);
+}
+
+Status MemoryImage::Write(uint64_t addr, const void* src, uint64_t len) {
+  if (!InBounds(addr, len)) {
+    return Status::kOutOfRange;
+  }
+  std::memcpy(bytes_.data() + addr, src, len);
+  return Status::kOk;
+}
+
+Status MemoryImage::Read(uint64_t addr, void* dst, uint64_t len) const {
+  if (!InBounds(addr, len)) {
+    return Status::kOutOfRange;
+  }
+  std::memcpy(dst, bytes_.data() + addr, len);
+  return Status::kOk;
+}
+
+}  // namespace vino

@@ -1,0 +1,82 @@
+// The flat virtual memory image a graft program executes against.
+//
+// Layout models the situation in the paper: graft code runs in the kernel
+// address space, so an *unprotected* graft can reach kernel data. The image
+// contains a kernel region at low addresses and, above it, one power-of-two
+// aligned graft arena (heap + stack + shared buffers). MiSFIT-instrumented
+// code is confined to the arena by address masking; unsafe code can scribble
+// on the kernel region (tests use this to demonstrate the disaster the paper
+// is about).
+
+#ifndef VINOLITE_SRC_SFI_MEMORY_IMAGE_H_
+#define VINOLITE_SRC_SFI_MEMORY_IMAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace vino {
+
+class MemoryImage {
+ public:
+  // kernel_size bytes of "kernel memory" at [0, kernel_size);
+  // a graft arena of 1<<arena_log2 bytes, aligned to its size, above it.
+  MemoryImage(uint64_t kernel_size, uint32_t arena_log2);
+
+  [[nodiscard]] uint64_t kernel_size() const { return kernel_size_; }
+  [[nodiscard]] uint64_t arena_base() const { return arena_base_; }
+  [[nodiscard]] uint64_t arena_size() const { return arena_size_; }
+  [[nodiscard]] uint32_t arena_log2() const { return arena_log2_; }
+  [[nodiscard]] uint64_t total_size() const { return bytes_.size(); }
+
+  // Mask such that ((addr & mask) | arena_base) always lands in the arena.
+  [[nodiscard]] uint64_t arena_mask() const { return arena_size_ - 1; }
+
+  // Raw access used by the Vm interpreter. `addr + width` must have been
+  // bounds-checked by the caller.
+  [[nodiscard]] uint8_t* data() { return bytes_.data(); }
+  [[nodiscard]] const uint8_t* data() const { return bytes_.data(); }
+
+  // Checked typed accessors for kernel-side code exchanging data with a
+  // graft (e.g. filling the shared read-ahead hint buffer).
+  Status Write(uint64_t addr, const void* src, uint64_t len);
+  Status Read(uint64_t addr, void* dst, uint64_t len) const;
+
+  Status WriteU64(uint64_t addr, uint64_t v) { return Write(addr, &v, 8); }
+  [[nodiscard]] Result<uint64_t> ReadU64(uint64_t addr) const {
+    uint64_t v = 0;
+    const Status s = Read(addr, &v, 8);
+    if (!IsOk(s)) {
+      return s;
+    }
+    return v;
+  }
+
+  // True if [addr, addr+width) lies fully inside the image.
+  [[nodiscard]] bool InBounds(uint64_t addr, uint64_t width) const {
+    return addr <= bytes_.size() && width <= bytes_.size() - addr;
+  }
+
+  // True if [addr, addr+width) lies fully inside the graft arena.
+  [[nodiscard]] bool InArena(uint64_t addr, uint64_t width) const {
+    return addr >= arena_base_ && addr - arena_base_ <= arena_size_ - width &&
+           width <= arena_size_;
+  }
+
+  void ZeroArena() {
+    std::memset(bytes_.data() + arena_base_, 0, arena_size_);
+  }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint64_t kernel_size_;
+  uint64_t arena_base_;
+  uint64_t arena_size_;
+  uint32_t arena_log2_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_MEMORY_IMAGE_H_

@@ -1,0 +1,90 @@
+#include "src/sfi/misfit.h"
+
+#include <vector>
+
+#include "src/base/log.h"
+#include "src/sfi/isa.h"
+
+namespace vino {
+namespace {
+
+bool TouchesReservedRegister(const Instruction& ins) {
+  if (WritesRd(ins.op) && ins.rd >= kFirstReservedReg) {
+    return true;
+  }
+  if (ReadsRs1(ins.op) && ins.rs1 >= kFirstReservedReg) {
+    return true;
+  }
+  if (ReadsRs2(ins.op) && ins.rs2 >= kFirstReservedReg) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Program> Instrument(const Program& source, const MisfitOptions& options) {
+  if (source.instrumented) {
+    // Idempotence would hide double-sandboxing bugs; reject instead.
+    return Status::kSfiBadOpcode;
+  }
+  const Status verify = VerifyProgram(source);
+  if (!IsOk(verify)) {
+    return verify;
+  }
+
+  for (const Instruction& ins : source.code) {
+    if (ins.op == Op::kSandboxAddr || ins.op == Op::kCheckedCallR) {
+      return Status::kSfiBadOpcode;  // Hand-forged instrumentation.
+    }
+    if (TouchesReservedRegister(ins)) {
+      VINO_LOG_WARN << "misfit: program '" << source.name
+                    << "' uses reserved registers; rejected";
+      return Status::kSfiBadOpcode;
+    }
+  }
+
+  Program out;
+  out.name = source.name;
+  out.instrumented = true;
+  out.sandbox_log2 = options.arena_log2;
+  out.direct_call_ids = source.direct_call_ids;
+  out.code.reserve(source.code.size() * 2);
+
+  // First pass: emit, recording where each source instruction landed.
+  std::vector<int64_t> new_index(source.code.size());
+  for (size_t i = 0; i < source.code.size(); ++i) {
+    const Instruction& ins = source.code[i];
+    new_index[i] = static_cast<int64_t>(out.code.size());
+
+    if (IsLoad(ins.op)) {
+      // sandbox rA <- rs1 + imm ; ld rd <- [rA + 0]
+      out.code.push_back(
+          Instruction{Op::kSandboxAddr, kSandboxAddrReg, ins.rs1, 0, ins.imm});
+      out.code.push_back(Instruction{ins.op, ins.rd, kSandboxAddrReg, 0, 0});
+    } else if (IsStore(ins.op)) {
+      out.code.push_back(
+          Instruction{Op::kSandboxAddr, kSandboxAddrReg, ins.rs1, 0, ins.imm});
+      out.code.push_back(Instruction{ins.op, 0, kSandboxAddrReg, ins.rs2, 0});
+    } else if (ins.op == Op::kCallR) {
+      out.code.push_back(Instruction{Op::kCheckedCallR, ins.rd, ins.rs1, 0, 0});
+    } else {
+      out.code.push_back(ins);
+    }
+  }
+
+  // Second pass: retarget branches through the index map.
+  for (Instruction& ins : out.code) {
+    if (IsBranch(ins.op)) {
+      ins.imm = new_index[static_cast<size_t>(ins.imm)];
+    }
+  }
+
+  const Status post = VerifyProgram(out);
+  if (!IsOk(post)) {
+    return post;  // Should be unreachable; defensive.
+  }
+  return out;
+}
+
+}  // namespace vino

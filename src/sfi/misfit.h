@@ -1,0 +1,43 @@
+// The MiSFIT pass: software fault isolation by binary rewriting.
+//
+// Reproduces the tool of Small's TR-07-96 / paper §3.3 on our vISA:
+//  * every load and store is preceded by a kSandboxAddr instruction that
+//    forces the effective address into the graft's arena
+//    (addr' = ((addr + off) & mask) | base — the Wahbe-style sandbox).
+//    The mask/base live in dedicated registers the source program may not
+//    touch, so jumping over the check cannot produce an unsandboxed address.
+//  * indirect calls (kCallR) are rewritten to kCheckedCallR, which probes the
+//    graft-callable hash table at run time.
+//  * direct call ids are collected into Program::direct_call_ids for the
+//    dynamic linker's link-time check.
+//
+// Instrumentation adds 1 extra instruction per memory access, matching the
+// paper's "two to five cycles per load or store" cost model in interpreter
+// steps.
+
+#ifndef VINOLITE_SRC_SFI_MISFIT_H_
+#define VINOLITE_SRC_SFI_MISFIT_H_
+
+#include <cstdint>
+
+#include "src/base/status.h"
+#include "src/sfi/program.h"
+
+namespace vino {
+
+struct MisfitOptions {
+  // log2 of the arena the instrumented program will be confined to. The
+  // loader checks this against the graft's actual arena at load time.
+  uint32_t arena_log2 = 16;
+};
+
+// Instruments `source`, returning a new program. Fails with:
+//  * kBadGraft         - source fails structural verification,
+//  * kSfiBadOpcode     - source already contains instrumentation opcodes
+//                        (forgery) or uses the reserved registers r12-r15.
+[[nodiscard]] Result<Program> Instrument(const Program& source,
+                                         const MisfitOptions& options = {});
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_MISFIT_H_

@@ -1,0 +1,259 @@
+#include "src/sfi/vm.h"
+
+#include <cstring>
+
+namespace vino {
+namespace {
+
+// Width in bytes of a memory opcode.
+uint64_t AccessWidth(Op op) {
+  switch (op) {
+    case Op::kLd8:
+    case Op::kSt8:
+      return 1;
+    case Op::kLd16:
+    case Op::kSt16:
+      return 2;
+    case Op::kLd32:
+    case Op::kSt32:
+      return 4;
+    default:
+      return 8;
+  }
+}
+
+}  // namespace
+
+RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
+                   const RunOptions& options) {
+  RunOutcome outcome;
+  if (program.code.empty()) {
+    outcome.status = Status::kBadGraft;
+    return outcome;
+  }
+
+  uint64_t regs[kNumRegisters] = {};
+  const size_t argc = args.size() < kMaxArgs ? args.size() : kMaxArgs;
+  for (size_t i = 0; i < argc; ++i) {
+    regs[i] = args[i];
+  }
+  if (program.instrumented) {
+    regs[kSandboxMaskReg] = image_->arena_mask();
+    regs[kSandboxBaseReg] = image_->arena_base();
+  }
+
+  uint8_t* const mem = image_->data();
+  const size_t code_size = program.code.size();
+  uint64_t fuel = options.fuel;
+  uint32_t until_poll = options.poll_interval;
+
+  uint64_t pc = 0;
+  while (true) {
+    if (pc >= code_size) {
+      outcome.status = Status::kBadGraft;  // Fell off the end.
+      return outcome;
+    }
+    if (fuel == 0) {
+      outcome.status = Status::kSfiFuelExhausted;
+      return outcome;
+    }
+    --fuel;
+    ++outcome.instructions;
+    if (--until_poll == 0) {
+      until_poll = options.poll_interval;
+      if (options.abort_requested && options.abort_requested()) {
+        outcome.status = Status::kTxnAborted;
+        return outcome;
+      }
+    }
+
+    const Instruction& ins = program.code[pc];
+    ++pc;
+
+    switch (ins.op) {
+      case Op::kNop:
+        break;
+      case Op::kHalt:
+        outcome.ret = regs[0];
+        outcome.status = Status::kOk;
+        return outcome;
+
+      case Op::kLoadImm:
+        regs[ins.rd] = static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kMov:
+        regs[ins.rd] = regs[ins.rs1];
+        break;
+
+      case Op::kAdd:
+        regs[ins.rd] = regs[ins.rs1] + regs[ins.rs2];
+        break;
+      case Op::kSub:
+        regs[ins.rd] = regs[ins.rs1] - regs[ins.rs2];
+        break;
+      case Op::kMul:
+        regs[ins.rd] = regs[ins.rs1] * regs[ins.rs2];
+        break;
+      case Op::kDivU:
+        regs[ins.rd] = regs[ins.rs2] == 0 ? 0 : regs[ins.rs1] / regs[ins.rs2];
+        break;
+      case Op::kRemU:
+        regs[ins.rd] = regs[ins.rs2] == 0 ? 0 : regs[ins.rs1] % regs[ins.rs2];
+        break;
+      case Op::kAnd:
+        regs[ins.rd] = regs[ins.rs1] & regs[ins.rs2];
+        break;
+      case Op::kOr:
+        regs[ins.rd] = regs[ins.rs1] | regs[ins.rs2];
+        break;
+      case Op::kXor:
+        regs[ins.rd] = regs[ins.rs1] ^ regs[ins.rs2];
+        break;
+      case Op::kShl:
+        regs[ins.rd] = regs[ins.rs1] << (regs[ins.rs2] & 63);
+        break;
+      case Op::kShr:
+        regs[ins.rd] = regs[ins.rs1] >> (regs[ins.rs2] & 63);
+        break;
+      case Op::kSar:
+        regs[ins.rd] = static_cast<uint64_t>(static_cast<int64_t>(regs[ins.rs1]) >>
+                                             (regs[ins.rs2] & 63));
+        break;
+
+      case Op::kAddI:
+        regs[ins.rd] = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kMulI:
+        regs[ins.rd] = regs[ins.rs1] * static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kAndI:
+        regs[ins.rd] = regs[ins.rs1] & static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kOrI:
+        regs[ins.rd] = regs[ins.rs1] | static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kXorI:
+        regs[ins.rd] = regs[ins.rs1] ^ static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kShlI:
+        regs[ins.rd] = regs[ins.rs1] << (static_cast<uint64_t>(ins.imm) & 63);
+        break;
+      case Op::kShrI:
+        regs[ins.rd] = regs[ins.rs1] >> (static_cast<uint64_t>(ins.imm) & 63);
+        break;
+
+      case Op::kSandboxAddr:
+        // The MiSFIT sandbox: force the address into the graft arena.
+        regs[ins.rd] = ((regs[ins.rs1] + static_cast<uint64_t>(ins.imm)) &
+                        regs[kSandboxMaskReg]) |
+                       regs[kSandboxBaseReg];
+        break;
+
+      case Op::kLd8:
+      case Op::kLd16:
+      case Op::kLd32:
+      case Op::kLd64: {
+        const uint64_t addr = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
+        const uint64_t width = AccessWidth(ins.op);
+        if (!image_->InBounds(addr, width)) {
+          // In a real kernel this is a wild read that may fault or return
+          // garbage; we surface it as a trap.
+          outcome.status = Status::kSfiTrap;
+          return outcome;
+        }
+        uint64_t v = 0;
+        std::memcpy(&v, mem + addr, width);
+        regs[ins.rd] = v;
+        break;
+      }
+      case Op::kSt8:
+      case Op::kSt16:
+      case Op::kSt32:
+      case Op::kSt64: {
+        const uint64_t addr = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
+        const uint64_t width = AccessWidth(ins.op);
+        if (!image_->InBounds(addr, width)) {
+          outcome.status = Status::kSfiTrap;
+          return outcome;
+        }
+        std::memcpy(mem + addr, &regs[ins.rs2], width);
+        break;
+      }
+
+      case Op::kJmp:
+        pc = static_cast<uint64_t>(ins.imm);
+        break;
+      case Op::kBeq:
+        if (regs[ins.rs1] == regs[ins.rs2]) {
+          pc = static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      case Op::kBne:
+        if (regs[ins.rs1] != regs[ins.rs2]) {
+          pc = static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      case Op::kBltU:
+        if (regs[ins.rs1] < regs[ins.rs2]) {
+          pc = static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      case Op::kBgeU:
+        if (regs[ins.rs1] >= regs[ins.rs2]) {
+          pc = static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      case Op::kBltS:
+        if (static_cast<int64_t>(regs[ins.rs1]) < static_cast<int64_t>(regs[ins.rs2])) {
+          pc = static_cast<uint64_t>(ins.imm);
+        }
+        break;
+      case Op::kBgeS:
+        if (static_cast<int64_t>(regs[ins.rs1]) >= static_cast<int64_t>(regs[ins.rs2])) {
+          pc = static_cast<uint64_t>(ins.imm);
+        }
+        break;
+
+      case Op::kCall:
+      case Op::kCallR:
+      case Op::kCheckedCallR: {
+        uint32_t id = 0;
+        if (ins.op == Op::kCall) {
+          id = static_cast<uint32_t>(ins.imm);
+        } else {
+          id = static_cast<uint32_t>(regs[ins.rs1]);
+        }
+        if (ins.op == Op::kCheckedCallR && !host_->IsCallable(id)) {
+          // Paper §3.3: "If the target function is not on the list, the
+          // graft's transaction is aborted."
+          outcome.status = Status::kSfiBadCall;
+          return outcome;
+        }
+        const HostCallTable::Entry* entry = host_->Lookup(id);
+        if (entry == nullptr) {
+          outcome.status = Status::kSfiTrap;  // Wild call.
+          return outcome;
+        }
+        HostCallContext ctx;
+        for (int i = 0; i < kMaxArgs; ++i) {
+          ctx.args[static_cast<size_t>(i)] = regs[i];
+        }
+        ctx.image = image_;
+        ctx.identity = options.identity;
+        Result<uint64_t> r = entry->fn(ctx);
+        if (!r.ok()) {
+          outcome.status = r.status();
+          return outcome;
+        }
+        regs[0] = r.value();
+        break;
+      }
+
+      default:
+        outcome.status = Status::kSfiBadOpcode;
+        return outcome;
+    }
+  }
+}
+
+}  // namespace vino

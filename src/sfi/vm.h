@@ -1,0 +1,68 @@
+// The graft execution engine: an interpreter for vISA programs.
+//
+// Instrumented programs run with the sandbox mask/base registers initialized
+// from the memory image's graft arena; their memory accesses cannot leave the
+// arena. Uninstrumented programs (the paper's "unsafe path") access the whole
+// image — including kernel memory — which is exactly the disaster the paper
+// is about; tests use this to demonstrate corruption, benchmarks use it to
+// price the MiSFIT overhead.
+//
+// Preemption (Table 1, Rule 1): the interpreter charges one unit of fuel per
+// instruction and polls an abort predicate at a fixed cadence, so an
+// infinitely looping graft is bounded and an asynchronous transaction abort
+// (e.g. a lock time-out fired by another thread) takes effect promptly.
+
+#ifndef VINOLITE_SRC_SFI_VM_H_
+#define VINOLITE_SRC_SFI_VM_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "src/base/status.h"
+#include "src/sfi/host.h"
+#include "src/sfi/memory_image.h"
+#include "src/sfi/program.h"
+
+namespace vino {
+
+struct RunOptions {
+  // Instruction budget; exhausting it returns kSfiFuelExhausted.
+  uint64_t fuel = 100'000'000;
+
+  // How often (in instructions) the abort predicate is polled.
+  uint32_t poll_interval = 64;
+
+  // If set and returns true, execution stops with kTxnAborted. Wired to the
+  // invoking transaction's abort flag by the graft wrapper.
+  std::function<bool()> abort_requested;
+
+  // Identity passed to every host call (the installing user, §3.3). The
+  // graft wrapper fills this from the graft descriptor.
+  CallerIdentity identity{};
+};
+
+struct RunOutcome {
+  Status status = Status::kOk;
+  uint64_t ret = 0;           // r0 at halt.
+  uint64_t instructions = 0;  // Instructions executed.
+};
+
+class Vm {
+ public:
+  Vm(MemoryImage* image, const HostCallTable* host) : image_(image), host_(host) {}
+
+  // Executes `program` with `args` in r0..r5. The program must pass
+  // VerifyProgram (callers that skip verification get kSfiBadOpcode /
+  // kSfiTrap at runtime rather than UB).
+  RunOutcome Run(const Program& program, std::span<const uint64_t> args,
+                 const RunOptions& options = {});
+
+ private:
+  MemoryImage* image_;
+  const HostCallTable* host_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_VM_H_

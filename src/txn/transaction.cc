@@ -1,0 +1,14 @@
+#include "src/txn/transaction.h"
+
+namespace vino {
+
+void Transaction::RequestAbort(Status reason) {
+  // Record the reason before raising the flag so a reader that sees the
+  // flag also sees a valid reason. First reason wins.
+  int32_t expected = static_cast<int32_t>(Status::kTxnAborted);
+  abort_reason_.compare_exchange_strong(expected, static_cast<int32_t>(reason),
+                                        std::memory_order_acq_rel);
+  abort_requested_.store(true, std::memory_order_release);
+}
+
+}  // namespace vino

@@ -1,0 +1,128 @@
+#include "src/txn/txn_lock.h"
+
+#include <cassert>
+#include <chrono>
+
+#include "src/base/context.h"
+#include "src/base/log.h"
+
+namespace vino {
+
+TxnLock::TxnLock(std::string name, Options options)
+    : name_(std::move(name)), options_(options) {}
+
+Status TxnLock::Acquire() {
+  KernelContext& ctx = KernelContext::Current();
+  Transaction* my_txn = ctx.txn;
+
+  std::unique_lock<std::mutex> guard(mutex_);
+
+  // Re-entrant acquire by the owning thread.
+  if (owner_os_id_ == ctx.os_id) {
+    ++recursion_;
+    return Status::kOk;
+  }
+
+  const Micros wait_start = SteadyClock::Instance().NowMicros();
+  bool timeout_fired = false;
+
+  while (HeldLocked()) {
+    // A waiter whose own transaction is doomed must unwind, not block: its
+    // abort is what releases *its* locks and lets the system make progress
+    // (Rule 9). This is also how deadlock cycles drain once a time-out has
+    // picked a victim.
+    if (my_txn != nullptr &&
+        (my_txn->abort_requested() ||
+         ctx.pending_abort.load(std::memory_order_acquire) != 0)) {
+      return Status::kTxnAborted;
+    }
+
+    available_.wait_for(guard, std::chrono::microseconds(options_.poll_quantum));
+
+    if (!HeldLocked()) {
+      break;
+    }
+    const Micros waited = SteadyClock::Instance().NowMicros() - wait_start;
+    if (!timeout_fired && waited >= options_.contention_timeout) {
+      // Paper §3.2: "If the time-out on a lock expires, and the lock is held
+      // by a thread that is executing a transaction, we abort that
+      // transaction." We post to the holder's *thread*; its innermost
+      // transaction aborts at the next preemption point even if the lock
+      // was acquired before the graft was invoked.
+      timeout_fired = true;
+      ++timeout_fires_;
+      VINO_LOG_INFO << "lock '" << name_ << "': contention timeout after "
+                    << waited << "us; requesting holder abort";
+      KernelContext::PostAbortRequest(
+          owner_os_id_, static_cast<int32_t>(Status::kTxnTimedOut));
+    }
+  }
+
+  owner_os_id_ = ctx.os_id;
+  owner_txn_ = my_txn;
+  recursion_ = 1;
+  if (my_txn != nullptr) {
+    my_txn->AddLock(this);
+  }
+  return Status::kOk;
+}
+
+Status TxnLock::TryAcquire() {
+  KernelContext& ctx = KernelContext::Current();
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (owner_os_id_ == ctx.os_id) {
+    ++recursion_;
+    return Status::kOk;
+  }
+  if (HeldLocked()) {
+    return Status::kBusy;
+  }
+  owner_os_id_ = ctx.os_id;
+  owner_txn_ = ctx.txn;
+  recursion_ = 1;
+  if (ctx.txn != nullptr) {
+    ctx.txn->AddLock(this);
+  }
+  return Status::kOk;
+}
+
+void TxnLock::Release() {
+  std::lock_guard<std::mutex> guard(mutex_);
+  assert(owner_os_id_ == KernelContext::Current().os_id &&
+         "Release by non-owner");
+  if (owner_txn_ != nullptr) {
+    // Two-phase locking: defer until the transaction commits or aborts.
+    return;
+  }
+  if (--recursion_ > 0) {
+    return;
+  }
+  ReleaseLocked();
+}
+
+void TxnLock::ReleaseOwnedBy(Transaction* txn) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  if (owner_txn_ != txn) {
+    return;  // Already transferred or released.
+  }
+  ReleaseLocked();
+}
+
+void TxnLock::TransferTo(Transaction* parent) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  owner_txn_ = parent;
+}
+
+void TxnLock::ReleaseLocked() {
+  owner_os_id_ = 0;
+  owner_txn_ = nullptr;
+  recursion_ = 0;
+  available_.notify_one();
+}
+
+bool TxnLock::held() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return HeldLocked();
+}
+
+}  // namespace vino

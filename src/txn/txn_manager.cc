@@ -1,0 +1,140 @@
+#include "src/txn/txn_manager.h"
+
+#include <cassert>
+
+#include "src/base/log.h"
+#include "src/txn/txn_lock.h"
+
+namespace vino {
+
+Transaction* TxnManager::Begin() {
+  KernelContext& ctx = KernelContext::Current();
+  if (ctx.txn == nullptr) {
+    // A fresh top-level transaction must not inherit an abort request aimed
+    // at a previous one: whatever lock that request concerned was released
+    // when the previous transaction ended.
+    ctx.pending_abort.store(0, std::memory_order_release);
+  } else {
+    nested_begins_.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto* txn =
+      new Transaction(next_id_.fetch_add(1, std::memory_order_relaxed), ctx.txn);
+  ctx.txn = txn;
+  begins_.fetch_add(1, std::memory_order_relaxed);
+  return txn;
+}
+
+Status TxnManager::Commit(Transaction* txn) {
+  KernelContext& ctx = KernelContext::Current();
+  assert(ctx.txn == txn && "Commit must target the innermost transaction");
+
+  // An asynchronously requested abort (e.g. a waiter timed out on one of our
+  // locks) turns the commit into an abort: the requester has judged this
+  // transaction a resource hoarder and the paper's contract is that it does
+  // not get to keep its effects.
+  const int32_t posted = ctx.pending_abort.load(std::memory_order_acquire);
+  if (txn->abort_requested() || posted != 0) {
+    const Status reason =
+        txn->abort_requested() ? txn->abort_reason() : static_cast<Status>(posted);
+    Abort(txn, reason);
+    return reason;
+  }
+
+  Transaction* parent = txn->parent_;
+  if (parent != nullptr) {
+    // Nested commit: "its undo call stack and locks are merged with those of
+    // its parent" (§3.1). Deferred deletes ride along: they only run once
+    // the outermost transaction's fate is sealed.
+    txn->undo_.MergeInto(parent->undo_);
+    for (TxnLock* lock : txn->locks_) {
+      lock->TransferTo(parent);
+      parent->AddLock(lock);
+    }
+    for (auto& action : txn->commit_actions_) {
+      parent->commit_actions_.push_back(std::move(action));
+    }
+  } else {
+    // Top-level commit: run the deferred deletes (§6's "delaying deletes
+    // until transaction abort" workaround — the delete happens only now
+    // that no abort can need the object), then drop locks (end of the
+    // two-phase window) and the now-unneeded undo stack.
+    for (auto& action : txn->commit_actions_) {
+      action();
+    }
+    for (auto it = txn->locks_.rbegin(); it != txn->locks_.rend(); ++it) {
+      (*it)->ReleaseOwnedBy(txn);
+    }
+    txn->undo_.Clear();
+  }
+
+  txn->state_ = TxnState::kCommitted;
+  ctx.txn = parent;
+  commits_.fetch_add(1, std::memory_order_relaxed);
+  delete txn;
+  return Status::kOk;
+}
+
+void TxnManager::Abort(Transaction* txn, Status reason) {
+  KernelContext& ctx = KernelContext::Current();
+  assert(ctx.txn == txn && "Abort must target the innermost transaction");
+
+  VINO_LOG_DEBUG << "txn " << txn->id() << " abort: " << StatusName(reason);
+
+  // Undo first, then release locks: the undo operations may touch the very
+  // state those locks protect.
+  txn->undo_.ReplayAndClear();
+  ReleaseLocks(txn);
+
+  txn->state_ = TxnState::kAborted;
+  ctx.txn = txn->parent_;
+
+  // The posted request (if any) is satisfied by this abort. If the
+  // contended lock is actually owned by an *outer* transaction, the waiter
+  // will time out again and re-post — the chain unwinds one level at a time.
+  ctx.pending_abort.store(0, std::memory_order_release);
+
+  aborts_.fetch_add(1, std::memory_order_relaxed);
+  if (reason == Status::kTxnTimedOut) {
+    timeout_aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  delete txn;
+}
+
+void TxnManager::ReleaseLocks(Transaction* txn) {
+  for (auto it = txn->locks_.rbegin(); it != txn->locks_.rend(); ++it) {
+    (*it)->ReleaseOwnedBy(txn);
+  }
+  txn->locks_.clear();
+}
+
+bool TxnManager::AbortPending() {
+  KernelContext& ctx = KernelContext::Current();
+  Transaction* txn = ctx.txn;
+  if (txn == nullptr) {
+    // Nothing to abort; drop any stale request so it cannot poison a later
+    // transaction (the paper's model: only transactions are abortable).
+    ctx.pending_abort.store(0, std::memory_order_release);
+    return false;
+  }
+  if (txn->abort_requested()) {
+    return true;
+  }
+  const int32_t posted = ctx.pending_abort.load(std::memory_order_acquire);
+  if (posted != 0) {
+    txn->RequestAbort(static_cast<Status>(posted));
+    return true;
+  }
+  return false;
+}
+
+TxnStats TxnManager::stats() const {
+  TxnStats s;
+  s.begins = begins_.load(std::memory_order_relaxed);
+  s.commits = commits_.load(std::memory_order_relaxed);
+  s.aborts = aborts_.load(std::memory_order_relaxed);
+  s.timeout_aborts = timeout_aborts_.load(std::memory_order_relaxed);
+  s.nested_begins = nested_begins_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace vino

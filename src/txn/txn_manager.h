@@ -1,0 +1,115 @@
+// The default VINO transaction manager (paper §3.1).
+//
+// "All graft transactions are managed by the default VINO transaction
+//  manager. When a transaction is initiated the manager allocates a
+//  transaction object that is associated with the thread that invoked the
+//  graft. The VINO transaction manager uses two-phase locking and an
+//  in-memory undo call stack."
+
+#ifndef VINOLITE_SRC_TXN_TXN_MANAGER_H_
+#define VINOLITE_SRC_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/base/context.h"
+#include "src/base/status.h"
+#include "src/txn/transaction.h"
+
+namespace vino {
+
+struct TxnStats {
+  uint64_t begins = 0;
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t timeout_aborts = 0;
+  uint64_t nested_begins = 0;
+};
+
+class TxnManager {
+ public:
+  TxnManager() = default;
+  TxnManager(const TxnManager&) = delete;
+  TxnManager& operator=(const TxnManager&) = delete;
+
+  // Begins a transaction on the calling thread. If the thread already has an
+  // active transaction this one nests inside it. The new transaction becomes
+  // KernelContext::Current().txn.
+  Transaction* Begin();
+
+  // Commits `txn`, which must be the calling thread's innermost transaction.
+  //  * nested:    undo stack and locks merge into the parent,
+  //  * top-level: locks are released, the undo stack is discarded.
+  // If an abort was requested concurrently (e.g. a waiter timed out on a
+  // lock this transaction holds), the commit is refused and the transaction
+  // aborts instead: returns the abort reason.
+  Status Commit(Transaction* txn);
+
+  // Aborts `txn`: replays its undo stack LIFO, releases its locks, restores
+  // the thread's context to the parent.
+  void Abort(Transaction* txn, Status reason);
+
+  // The calling thread's innermost active transaction, or null.
+  [[nodiscard]] static Transaction* Current() {
+    return KernelContext::Current().txn;
+  }
+
+  // The preemption-point poll. Checks both the current transaction's abort
+  // flag and the thread's asynchronously posted abort request (lock
+  // time-outs are delivered to the *thread*; this converts them into an
+  // abort of the innermost transaction). Returns true if the current
+  // transaction must abort. Used by accessor functions, TxnLock waits, and
+  // the sfi Vm's poll callback.
+  [[nodiscard]] static bool AbortPending();
+
+  [[nodiscard]] TxnStats stats() const;
+
+ private:
+  void ReleaseLocks(Transaction* txn);
+
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> begins_{0};
+  std::atomic<uint64_t> commits_{0};
+  std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> timeout_aborts_{0};
+  std::atomic<uint64_t> nested_begins_{0};
+};
+
+// RAII wrapper for kernel code paths that bracket work in a transaction.
+// If neither Commit() nor Abort() was called, destruction aborts (a graft
+// stub that threw / returned early must not leave state behind).
+class TxnScope {
+ public:
+  explicit TxnScope(TxnManager& manager)
+      : manager_(manager), txn_(manager.Begin()) {}
+
+  ~TxnScope() {
+    if (!done_) {
+      manager_.Abort(txn_, Status::kTxnAborted);
+    }
+  }
+
+  TxnScope(const TxnScope&) = delete;
+  TxnScope& operator=(const TxnScope&) = delete;
+
+  [[nodiscard]] Transaction* txn() { return txn_; }
+
+  Status Commit() {
+    done_ = true;
+    return manager_.Commit(txn_);
+  }
+
+  void Abort(Status reason) {
+    done_ = true;
+    manager_.Abort(txn_, reason);
+  }
+
+ private:
+  TxnManager& manager_;
+  Transaction* txn_;
+  bool done_ = false;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_TXN_TXN_MANAGER_H_

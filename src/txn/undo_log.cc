@@ -1,0 +1,26 @@
+#include "src/txn/undo_log.h"
+
+namespace vino {
+
+void UndoLog::ReplayAndClear() {
+  // LIFO: the most recent modification is undone first, so earlier undos see
+  // the state they recorded against.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->fn != nullptr) {
+      it->fn(it->args[0], it->args[1], it->args[2], it->args[3]);
+    } else if (it->closure) {
+      it->closure();
+    }
+  }
+  entries_.clear();
+}
+
+void UndoLog::MergeInto(UndoLog& parent) {
+  parent.entries_.reserve(parent.entries_.size() + entries_.size());
+  for (Entry& e : entries_) {
+    parent.entries_.push_back(std::move(e));
+  }
+  entries_.clear();
+}
+
+}  // namespace vino

@@ -1,0 +1,78 @@
+// The in-memory undo call stack (paper §3.1).
+//
+// "Whenever an accessor function is called, if there is a transaction
+//  associated with the currently running thread, the corresponding undo
+//  operation is pushed onto the transaction's undo call stack. If a
+//  transaction aborts, the transaction manager invokes each undo operation
+//  on the undo call stack."
+//
+// Entries are fixed-payload records (a function pointer plus four inline
+// words) so the hot path never allocates per entry; rare complex undos use
+// the closure escape hatch. Replay is LIFO. The log is transient — there is
+// no redo, no durability (paper: of ACID "we need only provide the first
+// three").
+
+#ifndef VINOLITE_SRC_TXN_UNDO_LOG_H_
+#define VINOLITE_SRC_TXN_UNDO_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace vino {
+
+class UndoLog {
+ public:
+  using InlineFn = void (*)(uint64_t, uint64_t, uint64_t, uint64_t);
+
+  UndoLog() = default;
+  UndoLog(const UndoLog&) = delete;
+  UndoLog& operator=(const UndoLog&) = delete;
+  UndoLog(UndoLog&&) = default;
+  UndoLog& operator=(UndoLog&&) = default;
+
+  // Pushes an allocation-free undo record.
+  void Push(InlineFn fn, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0,
+            uint64_t d = 0) {
+    entries_.push_back(Entry{fn, {a, b, c, d}, {}});
+  }
+
+  // Escape hatch for undos that need captured state.
+  void PushClosure(std::function<void()> closure) {
+    entries_.push_back(Entry{nullptr, {}, std::move(closure)});
+  }
+
+  // Convenience: restore a trivially-copyable 64-bit slot to its prior value.
+  void PushRestoreU64(uint64_t* slot) {
+    Push(&RestoreU64Thunk, reinterpret_cast<uint64_t>(slot), *slot);
+  }
+
+  // Runs every undo operation most-recent-first and empties the log.
+  void ReplayAndClear();
+
+  // Appends this log's entries (in order) onto `parent` and empties this
+  // log: a nested commit merges its undo stack with its parent's (§3.1).
+  void MergeInto(UndoLog& parent);
+
+  void Clear() { entries_.clear(); }
+  [[nodiscard]] size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    InlineFn fn;
+    uint64_t args[4];
+    std::function<void()> closure;
+  };
+
+  static void RestoreU64Thunk(uint64_t slot, uint64_t old_value, uint64_t,
+                              uint64_t) {
+    *reinterpret_cast<uint64_t*>(slot) = old_value;
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_TXN_UNDO_LOG_H_

@@ -1,0 +1,70 @@
+#include "src/txn/watchdog.h"
+
+#include <chrono>
+#include <vector>
+
+#include "src/base/context.h"
+#include "src/base/log.h"
+
+namespace vino {
+
+Watchdog::Watchdog(Micros tick)
+    : tick_(tick), ticker_([this] { TickLoop(); }) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  ticker_.join();
+}
+
+uint64_t Watchdog::Arm(Micros budget, Status reason) {
+  return ArmFor(KernelContext::Current().os_id, budget, reason);
+}
+
+uint64_t Watchdog::ArmFor(uint64_t os_id, Micros budget, Status reason) {
+  const Micros deadline = SteadyClock::Instance().NowMicros() + budget;
+  std::lock_guard<std::mutex> guard(mutex_);
+  const uint64_t token = next_token_++;
+  timers_.emplace(token, Timer{os_id, deadline, reason});
+  return token;
+}
+
+void Watchdog::Disarm(uint64_t token) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  timers_.erase(token);
+}
+
+uint64_t Watchdog::fires() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return fires_;
+}
+
+void Watchdog::TickLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    wake_.wait_for(lock, std::chrono::microseconds(tick_));
+    if (stopping_) {
+      return;
+    }
+    const Micros now = SteadyClock::Instance().NowMicros();
+    std::vector<uint64_t> expired;
+    for (const auto& [token, timer] : timers_) {
+      if (timer.deadline <= now) {
+        expired.push_back(token);
+      }
+    }
+    for (const uint64_t token : expired) {
+      const Timer timer = timers_[token];
+      timers_.erase(token);
+      ++fires_;
+      VINO_LOG_INFO << "watchdog: budget expired for thread " << timer.os_id;
+      KernelContext::PostAbortRequest(timer.os_id,
+                                      static_cast<int32_t>(timer.reason));
+    }
+  }
+}
+
+}  // namespace vino

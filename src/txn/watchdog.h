@@ -1,0 +1,86 @@
+// Wall-clock transaction watchdog (paper §4.5).
+//
+// "The most significant variable in aborting a transaction occurs when the
+//  graft hoards resources and must be timed out. We currently schedule
+//  time-outs on system-clock boundaries, which occur every 10 ms."
+//
+// The watchdog is that system clock: a background ticker that fires on a
+// fixed boundary and posts abort requests to threads whose armed budget has
+// expired. It complements the fuel limit (which bounds *instructions*) by
+// bounding *time*, catching grafts that block — e.g. in a host call — or
+// native grafts that poll preemption points but never finish.
+
+#ifndef VINOLITE_SRC_TXN_WATCHDOG_H_
+#define VINOLITE_SRC_TXN_WATCHDOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "src/base/clock.h"
+#include "src/base/status.h"
+
+namespace vino {
+
+class Watchdog {
+ public:
+  // `tick` is the clock boundary; as in the paper, an expiry is noticed
+  // between one and two ticks after it occurs.
+  explicit Watchdog(Micros tick = 10'000);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Arms a timer for the calling thread's current kernel context: if not
+  // disarmed within `budget`, an abort request (with `reason`) is posted to
+  // that thread. Returns a token for Disarm.
+  uint64_t Arm(Micros budget, Status reason = Status::kTxnTimedOut);
+
+  // Arms on behalf of another thread (by context os id).
+  uint64_t ArmFor(uint64_t os_id, Micros budget, Status reason);
+
+  // Cancels a timer. Safe to call after expiry (no-op).
+  void Disarm(uint64_t token);
+
+  // Timers that expired and fired an abort request.
+  [[nodiscard]] uint64_t fires() const;
+
+  // RAII guard: arms on construction, disarms on destruction.
+  class Scope {
+   public:
+    Scope(Watchdog& dog, Micros budget, Status reason = Status::kTxnTimedOut)
+        : dog_(dog), token_(dog.Arm(budget, reason)) {}
+    ~Scope() { dog_.Disarm(token_); }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Watchdog& dog_;
+    uint64_t token_;
+  };
+
+ private:
+  struct Timer {
+    uint64_t os_id;
+    Micros deadline;
+    Status reason;
+  };
+
+  void TickLoop();
+
+  const Micros tick_;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  uint64_t next_token_ = 1;
+  uint64_t fires_ = 0;
+  std::unordered_map<uint64_t, Timer> timers_;
+  std::thread ticker_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_TXN_WATCHDOG_H_

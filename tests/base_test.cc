@@ -1,0 +1,256 @@
+// Unit tests for src/base: Status/Result, clocks, stats, hash, rng,
+// intrusive list.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/base/clock.h"
+#include "src/base/hash.h"
+#include "src/base/intrusive_list.h"
+#include "src/base/rng.h"
+#include "src/base/stats.h"
+#include "src/base/status.h"
+
+namespace vino {
+namespace {
+
+TEST(StatusTest, NamesAreStable) {
+  EXPECT_EQ(StatusName(Status::kOk), "OK");
+  EXPECT_EQ(StatusName(Status::kTxnAborted), "TXN_ABORTED");
+  EXPECT_EQ(StatusName(Status::kBadSignature), "BAD_SIGNATURE");
+  EXPECT_EQ(StatusName(Status::kSfiTrap), "SFI_TRAP");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.status(), Status::kOk);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::kNotFound;
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status(), Status::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+  clock.Set(10);
+  EXPECT_EQ(clock.NowMicros(), 10u);
+}
+
+TEST(ClockTest, SteadyClockMonotonic) {
+  SteadyClock& clock = SteadyClock::Instance();
+  const Micros a = clock.NowMicros();
+  const Micros b = clock.NowMicros();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, CycleCounterAdvances) {
+  const uint64_t a = ReadCycleCounter();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 10000; ++i) {
+    sink = sink + static_cast<uint64_t>(i);
+  }
+  const uint64_t b = ReadCycleCounter();
+  EXPECT_GT(b, a);
+}
+
+TEST(ClockTest, CyclesPerMicroPlausible) {
+  const double cpm = CyclesPerMicro();
+  // Any host we run on clocks between 100 MHz and 10 GHz.
+  EXPECT_GT(cpm, 100.0);
+  EXPECT_LT(cpm, 10000.0);
+}
+
+TEST(StatsTest, EmptyInput) {
+  const TrimmedStats s = ComputeTrimmedStats({});
+  EXPECT_EQ(s.samples_total, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  const TrimmedStats s = ComputeTrimmedStats({5.0});
+  EXPECT_EQ(s.samples_used, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, TrimsTopAndBottomTenPercent) {
+  // 10 samples: one huge outlier at each end must be dropped.
+  std::vector<double> samples = {1000.0, 5, 5, 5, 5, 5, 5, 5, 5, -1000.0};
+  const TrimmedStats s = ComputeTrimmedStats(samples);
+  EXPECT_EQ(s.samples_used, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(StatsTest, MeanAndStddev) {
+  const TrimmedStats s = ComputeTrimmedStats({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0},
+                                             /*trim_fraction=*/0.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);  // Sample stddev.
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(StatsTest, SampleSetAccumulates) {
+  SampleSet set;
+  for (int i = 0; i < 100; ++i) {
+    set.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(set.size(), 100u);
+  const TrimmedStats s = set.Trimmed();
+  EXPECT_EQ(s.samples_used, 80u);
+  EXPECT_DOUBLE_EQ(s.mean, 49.5);  // Symmetric trim preserves the mean.
+}
+
+TEST(HashTest, Fnv1aKnownVector) {
+  // FNV-1a("") = offset basis.
+  EXPECT_EQ(Fnv1a("", 0), 0xcbf29ce484222325ull);
+  // FNV-1a("a") per reference implementation.
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(HashTest, MixU64Avalanche) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const uint64_t a = MixU64(0x1234);
+  const uint64_t b = MixU64(0x1235);
+  const int bits = __builtin_popcountll(a ^ b);
+  EXPECT_GT(bits, 16);
+  EXPECT_LT(bits, 48);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.Range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 3u);  // All of 3, 4, 5 hit in 1000 draws.
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+struct TestItem : ListNode {
+  explicit TestItem(int v) : value(v) {}
+  int value;
+};
+
+TEST(IntrusiveListTest, PushPopOrder) {
+  IntrusiveList<TestItem> list;
+  TestItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(list.size(), 3u);
+  EXPECT_EQ(list.PopFront()->value, 3);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.PopFront(), nullptr);
+}
+
+TEST(IntrusiveListTest, RemoveMiddle) {
+  IntrusiveList<TestItem> list;
+  TestItem a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Remove(&b);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.Front()->value, 1);
+  EXPECT_EQ(list.Back()->value, 3);
+  EXPECT_FALSE(b.linked());
+}
+
+TEST(IntrusiveListTest, ReplaceSwapsPosition) {
+  // The Cao-replacement primitive: `in` takes `out`'s queue position.
+  IntrusiveList<TestItem> list;
+  TestItem a(1), b(2), c(3), d(4);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  list.Replace(&b, &d);
+  EXPECT_FALSE(b.linked());
+  std::vector<int> order;
+  for (TestItem& item : list) {
+    order.push_back(item.value);
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 4, 3}));
+}
+
+TEST(IntrusiveListTest, Iteration) {
+  // Items must outlive the list (intrusive-container contract), so they are
+  // declared first.
+  std::vector<TestItem> items;
+  IntrusiveList<TestItem> list;
+  items.reserve(10);
+  for (int i = 0; i < 10; ++i) {
+    items.emplace_back(i);
+  }
+  for (auto& item : items) {
+    list.PushBack(&item);
+  }
+  int expected = 0;
+  for (TestItem& item : list) {
+    EXPECT_EQ(item.value, expected++);
+  }
+  EXPECT_EQ(expected, 10);
+}
+
+}  // namespace
+}  // namespace vino

@@ -1,0 +1,93 @@
+// Disassembler tests, including the assemble -> disassemble -> reassemble
+// round trip for uninstrumented programs.
+
+#include <gtest/gtest.h>
+
+#include "src/sfi/assembler.h"
+#include "src/sfi/disasm.h"
+#include "src/sfi/misfit.h"
+
+namespace vino {
+namespace {
+
+TEST(DisasmTest, SingleInstructions) {
+  DisasmOptions options;
+  EXPECT_EQ(DisassembleInstruction({Op::kHalt, 0, 0, 0, 0}, options), "halt");
+  EXPECT_EQ(DisassembleInstruction({Op::kLoadImm, 3, 0, 0, -7}, options),
+            "loadi r3, -7");
+  EXPECT_EQ(DisassembleInstruction({Op::kAdd, 1, 2, 3, 0}, options),
+            "add r1, r2, r3");
+  EXPECT_EQ(DisassembleInstruction({Op::kLd64, 4, 5, 0, 16}, options),
+            "ld64 r4, r5, 16");
+  EXPECT_EQ(DisassembleInstruction({Op::kSt8, 0, 5, 6, 0}, options), "st8 r5, r6");
+  EXPECT_EQ(DisassembleInstruction({Op::kBne, 0, 1, 2, 9}, options),
+            "bne r1, r2, L9");
+}
+
+TEST(DisasmTest, CallNamesResolvedThroughHostTable) {
+  HostCallTable host;
+  const uint32_t id = host.Register(
+      "fs.read", [](HostCallContext&) -> Result<uint64_t> { return 0ull; }, true);
+  DisasmOptions options;
+  options.host = &host;
+  EXPECT_EQ(DisassembleInstruction(
+                {Op::kCall, 0, 0, 0, static_cast<int64_t>(id)}, options),
+            "call fs.read");
+  // Unknown ids fall back to numeric form.
+  EXPECT_EQ(DisassembleInstruction({Op::kCall, 0, 0, 0, 999}, options), "call 999");
+}
+
+TEST(DisasmTest, LabelsSynthesizedAtBranchTargets) {
+  Asm a("looper");
+  auto top = a.NewLabel();
+  a.LoadImm(R1, 3);
+  a.Bind(top);
+  a.AddI(R1, R1, -1);
+  a.LoadImm(R2, 0);
+  a.Bne(R1, R2, top);
+  a.Halt();
+  Result<Program> p = a.Finish();
+  ASSERT_TRUE(p.ok());
+  const std::string text = Disassemble(*p);
+  EXPECT_NE(text.find("L1:"), std::string::npos);
+  EXPECT_NE(text.find("bne r1, r2, L1"), std::string::npos);
+}
+
+TEST(DisasmTest, RoundTripThroughAssembler) {
+  Asm a("roundtrip");
+  auto loop = a.NewLabel();
+  auto out = a.NewLabel();
+  a.LoadImm(R1, 10);
+  a.LoadImm(R0, 0);
+  a.LoadImm(R2, 0);
+  a.Bind(loop);
+  a.Beq(R1, R2, out);
+  a.Add(R0, R0, R1);
+  a.AddI(R1, R1, -1);
+  a.Jmp(loop);
+  a.Bind(out);
+  a.Halt();
+  Result<Program> original = a.Finish();
+  ASSERT_TRUE(original.ok());
+
+  const std::string text = Disassemble(*original);
+  Result<Program> reassembled = Assemble(text, "roundtrip", nullptr);
+  ASSERT_TRUE(reassembled.ok()) << text;
+  EXPECT_EQ(reassembled->code, original->code);
+}
+
+TEST(DisasmTest, InstrumentedProgramsAnnotated) {
+  Asm a("mem");
+  a.LoadImm(R1, 100).St64(R1, R1).Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  ASSERT_TRUE(inst.ok());
+  const std::string text = Disassemble(*inst);
+  EXPECT_NE(text.find("MiSFIT-instrumented"), std::string::npos);
+  EXPECT_NE(text.find("sandbox r14, r1"), std::string::npos);
+  EXPECT_NE(text.find("; misfit"), std::string::npos);
+  // Instrumented text must NOT reassemble (forgery prevention).
+  EXPECT_FALSE(Assemble(text, "forged", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace vino

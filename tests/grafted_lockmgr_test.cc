@@ -1,0 +1,165 @@
+// GraftedLockManager tests: downloaded grant/enqueue policies running
+// sandboxed and transactional, with kernel-side safety re-checks.
+
+#include <gtest/gtest.h>
+
+#include "src/graft/namespace.h"
+#include "src/lockmgr/grafted_lock_manager.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kUser{1001, false};
+
+class GraftedLockMgrTest : public ::testing::Test {
+ protected:
+  GraftedLockMgrTest() : mgr_("lockmgr.test", &txn_, &host_, &ns_) {}
+
+  std::shared_ptr<Graft> Load(Asm& a) {
+    Result<Program> inst = Instrument(*a.Finish());
+    EXPECT_TRUE(inst.ok());
+    return std::make_shared<Graft>("policy", *inst, kUser, 4096);
+  }
+
+  // The fair-queueing grant policy as a graft: deny whenever any waiter
+  // exists, else apply holder-conflict logic.
+  // Args: r0=holder r1=mode r2=holders r3=hcount r4=waiters r5=wcount.
+  std::shared_ptr<Graft> FairGrantGraft() {
+    Asm a("fair-grant");
+    auto deny = a.NewLabel();
+    auto scan = a.NewLabel();
+    auto next = a.NewLabel();
+    auto grant = a.NewLabel();
+    // Any waiters? deny.
+    a.LoadImm(R6, 0);
+    a.Bne(R5, R6, deny);
+    // Scan holders for a conflict: conflict iff either mode is exclusive.
+    a.LoadImm(R7, 0);  // index
+    a.Bind(scan);
+    a.BgeU(R7, R3, grant);
+    a.ShlI(R8, R7, 4);
+    a.Add(R8, R2, R8);
+    a.Ld64(R9, R8, 8);  // holder's mode
+    a.LoadImm(R10, 1);
+    a.Beq(R9, R10, deny);   // holder exclusive -> conflict
+    a.Beq(R1, R10, deny);   // we are exclusive and a holder exists -> conflict
+    a.Bind(next);
+    a.AddI(R7, R7, 1);
+    a.Jmp(scan);
+    a.Bind(grant);
+    a.LoadImm(R0, 1);
+    a.Halt();
+    a.Bind(deny);
+    a.LoadImm(R0, 0);
+    a.Halt();
+    return Load(a);
+  }
+
+  // LIFO enqueue policy: always insert at index 0.
+  std::shared_ptr<Graft> LifoEnqueueGraft() {
+    Asm a("lifo-enqueue");
+    a.LoadImm(R0, 0).Halt();
+    return Load(a);
+  }
+
+  TxnManager txn_;
+  HostCallTable host_;
+  GraftNamespace ns_;
+  GraftedLockManager mgr_;
+};
+
+TEST_F(GraftedLockMgrTest, DefaultsMatchFigure4) {
+  // Reader priority barging, FIFO queueing — same as SimpleLockManager.
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  EXPECT_EQ(mgr_.GetLock(1, 101, LockMode::kShared), Status::kOk);  // Barges.
+  EXPECT_EQ(mgr_.WaiterCount(1), 1u);
+  ASSERT_EQ(mgr_.ReleaseLock(1, 100), Status::kOk);
+  ASSERT_EQ(mgr_.ReleaseLock(1, 101), Status::kOk);
+  EXPECT_TRUE(mgr_.Holds(1, 200));  // Promoted.
+}
+
+TEST_F(GraftedLockMgrTest, PointsAppearInNamespace) {
+  EXPECT_TRUE(ns_.LookupFunction("lockmgr.test.grant").ok());
+  EXPECT_TRUE(ns_.LookupFunction("lockmgr.test.enqueue").ok());
+}
+
+TEST_F(GraftedLockMgrTest, FairGrantGraftPreventsBarging) {
+  ASSERT_EQ(mgr_.grant_point().Replace(FairGrantGraft()), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  // Under the grafted fair policy, a new reader queues behind the writer.
+  EXPECT_EQ(mgr_.GetLock(1, 101, LockMode::kShared), Status::kBusy);
+  EXPECT_EQ(mgr_.WaiterCount(1), 2u);
+  // Every decision ran in a transaction.
+  EXPECT_GE(txn_.stats().commits, 3u);
+}
+
+TEST_F(GraftedLockMgrTest, GraftCannotGrantConflictingRequests) {
+  // A malicious grant policy that always says yes: the kernel's safety
+  // re-check refuses conflicting grants regardless.
+  Asm a("always-yes");
+  a.LoadImm(R0, 1).Halt();
+  ASSERT_EQ(mgr_.grant_point().Replace(Load(a)), Status::kOk);
+
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  EXPECT_EQ(mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  EXPECT_FALSE(mgr_.Holds(1, 200));
+}
+
+TEST_F(GraftedLockMgrTest, LifoEnqueueGraftReordersQueue) {
+  ASSERT_EQ(mgr_.enqueue_point().Replace(LifoEnqueueGraft()), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(mgr_.GetLock(1, 201, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(mgr_.ReleaseLock(1, 100), Status::kOk);
+  EXPECT_TRUE(mgr_.Holds(1, 201));  // LIFO: newest waiter won.
+}
+
+TEST_F(GraftedLockMgrTest, OutOfRangeEnqueueIndexClamped) {
+  Asm a("huge-index");
+  a.LoadImm(R0, 1'000'000).Halt();
+  ASSERT_EQ(mgr_.enqueue_point().Replace(Load(a)), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  EXPECT_EQ(mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  EXPECT_EQ(mgr_.WaiterCount(1), 1u);  // Clamped to append.
+}
+
+TEST_F(GraftedLockMgrTest, MisbehavingPolicyGraftFallsBackToDefault) {
+  Asm a("spin");
+  auto top = a.NewLabel();
+  a.Bind(top);
+  a.Jmp(top);
+  // Tight fuel comes from the point config; the default config's 10M fuel
+  // still terminates, it just takes a moment — acceptable for one call.
+  ASSERT_EQ(mgr_.grant_point().Replace(Load(a)), Status::kOk);
+
+  // The decision still completes (default policy) and the graft is gone.
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  EXPECT_FALSE(mgr_.grant_point().grafted());
+  EXPECT_GE(txn_.stats().aborts, 1u);
+}
+
+TEST_F(GraftedLockMgrTest, GraftSeesMarshalledState) {
+  // A grant policy that denies iff there are >= 2 holders (count-based),
+  // proving the holders list really reaches the graft.
+  Asm a("max-two");
+  auto deny = a.NewLabel();
+  a.LoadImm(R6, 2);
+  a.BgeU(R3, R6, deny);
+  a.LoadImm(R0, 1);
+  a.Halt();
+  a.Bind(deny);
+  a.LoadImm(R0, 0);
+  a.Halt();
+  ASSERT_EQ(mgr_.grant_point().Replace(Load(a)), Status::kOk);
+
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 101, LockMode::kShared), Status::kOk);
+  EXPECT_EQ(mgr_.GetLock(1, 102, LockMode::kShared), Status::kBusy);  // 3rd denied.
+}
+
+}  // namespace
+}  // namespace vino

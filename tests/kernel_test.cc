@@ -1,0 +1,136 @@
+// VinoKernel facade tests: construction wiring, the source->graft pipeline,
+// and cross-subsystem sanity through the single entry point.
+
+#include <gtest/gtest.h>
+
+#include "src/kernel/kernel.h"
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kUser{1001, false};
+
+TEST(KernelTest, DefaultConstructionWiresEverything) {
+  VinoKernel kernel;
+  EXPECT_NE(kernel.watchdog(), nullptr);
+  EXPECT_EQ(kernel.mem().pool().frame_count(), 4096u);
+  EXPECT_EQ(kernel.cache().capacity(), 1024u);
+  // The net stack registered its host functions.
+  EXPECT_TRUE(kernel.host().IdOf("net.recv").ok());
+  EXPECT_TRUE(kernel.host().IdOf("net.send").ok());
+  EXPECT_TRUE(kernel.host().IdOf("net.close").ok());
+}
+
+TEST(KernelTest, ConfigurationRespected) {
+  VinoKernelConfig config;
+  config.memory_frames = 64;
+  config.cache_buffers = 16;
+  config.start_watchdog = false;
+  VinoKernel kernel(config);
+  EXPECT_EQ(kernel.watchdog(), nullptr);
+  EXPECT_EQ(kernel.mem().pool().frame_count(), 64u);
+  EXPECT_EQ(kernel.cache().capacity(), 16u);
+}
+
+TEST(KernelTest, SourcePipelineProducesRunnableGraft) {
+  VinoKernel kernel;
+  Result<std::shared_ptr<Graft>> graft = kernel.LoadGraftFromSource(
+      "loadi r0, 1234\nhalt\n", "answer", kUser);
+  ASSERT_TRUE(graft.ok());
+  EXPECT_TRUE((*graft)->program().instrumented);
+
+  FunctionGraftPoint point(
+      "k.point", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &kernel.txn(), &kernel.host(), &kernel.ns());
+  ASSERT_EQ(kernel.loader().InstallFunction("k.point", *graft), Status::kOk);
+  EXPECT_EQ(point.Invoke({}), 1234u);
+}
+
+TEST(KernelTest, SourcePipelineErrors) {
+  VinoKernel kernel;
+  EXPECT_FALSE(kernel.LoadGraftFromSource("not an opcode\n", "bad", kUser).ok());
+  EXPECT_FALSE(
+      kernel.LoadGraftFromSource("call no.such.fn\nhalt\n", "bad2", kUser).ok());
+}
+
+TEST(KernelTest, SponsorPlumbsThroughPipeline) {
+  VinoKernel kernel;
+  ResourceAccount installer("installer");
+  installer.SetLimit(ResourceType::kMemory, 100);
+  Result<std::shared_ptr<Graft>> graft = kernel.LoadGraftFromSource(
+      "loadi r0, 0\nhalt\n", "sponsored", kUser, &installer);
+  ASSERT_TRUE(graft.ok());
+  EXPECT_EQ((*graft)->account().Charge(ResourceType::kMemory, 40), Status::kOk);
+  EXPECT_EQ(installer.usage(ResourceType::kMemory), 40u);
+}
+
+TEST(KernelTest, DefaultPointConfigWiresWatchdog) {
+  VinoKernel kernel;
+  FunctionGraftPoint::Config config = kernel.DefaultPointConfig(5'000);
+  EXPECT_EQ(config.watchdog, kernel.watchdog());
+  EXPECT_EQ(config.wall_budget, 5'000u);
+
+  VinoKernelConfig no_dog;
+  no_dog.start_watchdog = false;
+  VinoKernel bare(no_dog);
+  FunctionGraftPoint::Config config2 = bare.DefaultPointConfig();
+  EXPECT_EQ(config2.watchdog, nullptr);
+  EXPECT_EQ(config2.wall_budget, 0u);
+}
+
+TEST(KernelTest, GraftPointIntrospection) {
+  VinoKernel kernel;
+  Result<FileId> file = kernel.fs().CreateFile("f", 4096);
+  ASSERT_TRUE(file.ok());
+  Result<OpenFile*> open = kernel.fs().Open(*file);
+  ASSERT_TRUE(open.ok());
+  kernel.net().ListenTcp(80);
+  kernel.sched().CreateThread("t", 1);
+  VirtualAddressSpace* vas = kernel.mem().CreateVas("v", 8);
+  (void)vas;
+
+  const auto points = kernel.ListGraftPoints();
+  // compute-ra + tcp event + schedule-delegate + vas eviction.
+  EXPECT_GE(points.size(), 4u);
+  bool saw_event = false;
+  bool saw_function = false;
+  for (const auto& p : points) {
+    saw_event |= p.is_event;
+    saw_function |= !p.is_event;
+  }
+  EXPECT_TRUE(saw_event);
+  EXPECT_TRUE(saw_function);
+}
+
+TEST(KernelTest, EndToEndFileWorkloadThroughFacade) {
+  VinoKernel kernel;
+  Result<FileId> file = kernel.fs().CreateFile("data", 32 * 4096);
+  ASSERT_TRUE(file.ok());
+  Result<OpenFile*> open = kernel.fs().Open(*file);
+  ASSERT_TRUE(open.ok());
+
+  Result<std::shared_ptr<Graft>> graft = kernel.LoadGraftFromSource(
+      R"(
+        ; prefetch block 3 on every read
+        loadi r6, 12288
+        st64 r4, r6
+        loadi r6, 4096
+        st64 r4, r6, 8
+        loadi r0, 1
+        halt
+      )",
+      "block3-ra", kUser);
+  ASSERT_TRUE(graft.ok());
+  ASSERT_EQ(kernel.loader().InstallFunction((*open)->readahead_point().name(),
+                                            *graft),
+            Status::kOk);
+  ASSERT_TRUE((*open)->Read(0, 4096).ok());
+  EXPECT_EQ((*open)->stats().prefetches_enqueued, 1u);
+  kernel.clock().Advance(100'000);
+  Result<OpenFile::ReadResult> hit = (*open)->Read(3 * 4096, 4096);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->cache_hit);
+}
+
+}  // namespace
+}  // namespace vino

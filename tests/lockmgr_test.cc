@@ -1,0 +1,135 @@
+// Lock manager case-study tests (Figures 4 and 5): both implementations
+// must agree under the default policies; the indirected manager must honour
+// replaced policies.
+
+#include <gtest/gtest.h>
+
+#include "src/lockmgr/lock_manager.h"
+
+namespace vino {
+namespace {
+
+TEST(LockModeTest, Compatibility) {
+  EXPECT_TRUE(Compatible(LockMode::kShared, LockMode::kShared));
+  EXPECT_FALSE(Compatible(LockMode::kShared, LockMode::kExclusive));
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kShared));
+  EXPECT_FALSE(Compatible(LockMode::kExclusive, LockMode::kExclusive));
+}
+
+template <typename Manager>
+class LockManagerTest : public ::testing::Test {
+ protected:
+  Manager mgr_;
+};
+
+using Managers = ::testing::Types<SimpleLockManager, PolicyLockManager>;
+TYPED_TEST_SUITE(LockManagerTest, Managers);
+
+TYPED_TEST(LockManagerTest, SharedReadersCoexist) {
+  EXPECT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  EXPECT_EQ(this->mgr_.GetLock(1, 101, LockMode::kShared), Status::kOk);
+  EXPECT_TRUE(this->mgr_.Holds(1, 100));
+  EXPECT_TRUE(this->mgr_.Holds(1, 101));
+}
+
+TYPED_TEST(LockManagerTest, WriterBlocksBehindReader) {
+  EXPECT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  EXPECT_EQ(this->mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  EXPECT_FALSE(this->mgr_.Holds(1, 200));
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 1u);
+}
+
+TYPED_TEST(LockManagerTest, ReleasePromotesWaiter) {
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  ASSERT_EQ(this->mgr_.GetLock(1, 200, LockMode::kShared), Status::kBusy);
+  ASSERT_EQ(this->mgr_.GetLock(1, 201, LockMode::kShared), Status::kBusy);
+  ASSERT_EQ(this->mgr_.ReleaseLock(1, 100), Status::kOk);
+  // Both shared waiters promoted together.
+  EXPECT_TRUE(this->mgr_.Holds(1, 200));
+  EXPECT_TRUE(this->mgr_.Holds(1, 201));
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 0u);
+}
+
+TYPED_TEST(LockManagerTest, FifoPromotionStopsAtConflict) {
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  ASSERT_EQ(this->mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(this->mgr_.GetLock(1, 201, LockMode::kShared), Status::kBusy);
+  ASSERT_EQ(this->mgr_.ReleaseLock(1, 100), Status::kOk);
+  // Only the first (exclusive) waiter is promoted.
+  EXPECT_TRUE(this->mgr_.Holds(1, 200));
+  EXPECT_FALSE(this->mgr_.Holds(1, 201));
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 1u);
+}
+
+TYPED_TEST(LockManagerTest, DoubleAcquireRejected) {
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  EXPECT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kAlreadyExists);
+}
+
+TYPED_TEST(LockManagerTest, ReleaseOfUnheldFails) {
+  EXPECT_EQ(this->mgr_.ReleaseLock(1, 100), Status::kNotFound);
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  EXPECT_EQ(this->mgr_.ReleaseLock(1, 999), Status::kNotFound);
+}
+
+TYPED_TEST(LockManagerTest, ResourcesIndependent) {
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  EXPECT_EQ(this->mgr_.GetLock(2, 200, LockMode::kExclusive), Status::kOk);
+}
+
+TEST(ReaderPriorityTest, DefaultPolicyBargesPastWaitingWriter) {
+  // The policy decision Figure 4 hard-codes: "any incoming lock request can
+  // be granted if it does not conflict with any holders, ignoring the locks
+  // on the wait list (e.g., it implements a reader priority locking
+  // protocol)".
+  SimpleLockManager mgr;
+  ASSERT_EQ(mgr.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  // A new reader barges past the waiting writer.
+  EXPECT_EQ(mgr.GetLock(1, 101, LockMode::kShared), Status::kOk);
+}
+
+TEST(PolicyTest, FairGrantPolicyPreventsBarging) {
+  PolicyLockManager mgr;
+  mgr.SetGrantPolicy(&PolicyLockManager::FairGrantPolicy);
+  ASSERT_EQ(mgr.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  // Under the fair policy the new reader queues behind the writer.
+  EXPECT_EQ(mgr.GetLock(1, 101, LockMode::kShared), Status::kBusy);
+  EXPECT_EQ(mgr.WaiterCount(1), 2u);
+}
+
+TEST(PolicyTest, QueuePolicyControlsInsertionOrder) {
+  PolicyLockManager mgr;
+  // LIFO queueing: newest waiter first.
+  mgr.SetQueuePolicy([](const LockState&, const LockRequest&) -> size_t { return 0; });
+  ASSERT_EQ(mgr.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  ASSERT_EQ(mgr.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(mgr.GetLock(1, 201, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(mgr.ReleaseLock(1, 100), Status::kOk);
+  EXPECT_TRUE(mgr.Holds(1, 201));  // Last in, first out.
+  EXPECT_FALSE(mgr.Holds(1, 200));
+}
+
+TEST(PolicyTest, MalformedQueuePolicyOutputClamped) {
+  PolicyLockManager mgr;
+  mgr.SetQueuePolicy([](const LockState&, const LockRequest&) -> size_t {
+    return 1'000'000;  // Way out of range.
+  });
+  ASSERT_EQ(mgr.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  EXPECT_EQ(mgr.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  EXPECT_EQ(mgr.WaiterCount(1), 1u);  // Clamped to append, not a crash.
+}
+
+TEST(PolicyTest, NullRestoresDefault) {
+  PolicyLockManager mgr;
+  mgr.SetGrantPolicy(&PolicyLockManager::FairGrantPolicy);
+  mgr.SetGrantPolicy(nullptr);
+  ASSERT_EQ(mgr.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  // Default (reader priority) again: barging allowed.
+  EXPECT_EQ(mgr.GetLock(1, 101, LockMode::kShared), Status::kOk);
+}
+
+}  // namespace
+}  // namespace vino

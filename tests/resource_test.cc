@@ -1,0 +1,211 @@
+// Resource accounting tests: limits, charging, delegation (lottery-style
+// limit transfer), billing chains, and transaction-integrated charges.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/base/context.h"
+#include "src/resource/account.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+namespace {
+
+TEST(ResourceAccountTest, ChargeWithinLimit) {
+  ResourceAccount account("a");
+  account.SetLimit(ResourceType::kMemory, 100);
+  EXPECT_EQ(account.Charge(ResourceType::kMemory, 60), Status::kOk);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 60u);
+  EXPECT_EQ(account.available(ResourceType::kMemory), 40u);
+}
+
+TEST(ResourceAccountTest, ChargeOverLimitFails) {
+  ResourceAccount account("a");
+  account.SetLimit(ResourceType::kMemory, 100);
+  EXPECT_EQ(account.Charge(ResourceType::kMemory, 101), Status::kLimitExceeded);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 0u);  // Failed charge is free.
+}
+
+TEST(ResourceAccountTest, ZeroLimitByDefault) {
+  // "When a graft is installed, it initially has limits of zero (i.e., it
+  // cannot allocate any resources)." (§3.2)
+  ResourceAccount graft_account("graft");
+  EXPECT_EQ(graft_account.Charge(ResourceType::kMemory, 1), Status::kLimitExceeded);
+}
+
+TEST(ResourceAccountTest, UnchargeSaturates) {
+  ResourceAccount account("a");
+  account.SetLimit(ResourceType::kMemory, 100);
+  ASSERT_EQ(account.Charge(ResourceType::kMemory, 10), Status::kOk);
+  account.Uncharge(ResourceType::kMemory, 50);  // Double-release defensive.
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 0u);
+}
+
+TEST(ResourceAccountTest, ResourceTypesIndependent) {
+  ResourceAccount account("a");
+  account.SetLimit(ResourceType::kMemory, 100);
+  account.SetLimit(ResourceType::kThreads, 2);
+  ASSERT_EQ(account.Charge(ResourceType::kThreads, 2), Status::kOk);
+  EXPECT_EQ(account.Charge(ResourceType::kThreads, 1), Status::kLimitExceeded);
+  EXPECT_EQ(account.Charge(ResourceType::kMemory, 100), Status::kOk);
+}
+
+TEST(ResourceAccountTest, TransferLimitDelegation) {
+  ResourceAccount installer("installer");
+  ResourceAccount graft("graft");
+  installer.SetLimit(ResourceType::kMemory, 100);
+
+  EXPECT_EQ(installer.TransferLimit(ResourceType::kMemory, 30, graft), Status::kOk);
+  EXPECT_EQ(installer.limit(ResourceType::kMemory), 70u);
+  EXPECT_EQ(graft.limit(ResourceType::kMemory), 30u);
+  EXPECT_EQ(graft.Charge(ResourceType::kMemory, 30), Status::kOk);
+  EXPECT_EQ(graft.Charge(ResourceType::kMemory, 1), Status::kLimitExceeded);
+}
+
+TEST(ResourceAccountTest, TransferBeyondUncommittedFails) {
+  ResourceAccount a("a");
+  ResourceAccount b("b");
+  a.SetLimit(ResourceType::kMemory, 100);
+  ASSERT_EQ(a.Charge(ResourceType::kMemory, 80), Status::kOk);
+  // Only 20 uncommitted; cannot hand out more.
+  EXPECT_EQ(a.TransferLimit(ResourceType::kMemory, 30, b), Status::kLimitExceeded);
+  EXPECT_EQ(a.TransferLimit(ResourceType::kMemory, 20, b), Status::kOk);
+}
+
+TEST(ResourceAccountTest, TransferToSelfRejected) {
+  ResourceAccount a("a");
+  a.SetLimit(ResourceType::kMemory, 10);
+  EXPECT_EQ(a.TransferLimit(ResourceType::kMemory, 5, a), Status::kInvalidArgs);
+}
+
+TEST(ResourceAccountTest, PoolingFromMultipleDelegators) {
+  // "a collection of database clients and servers may wish to pool their
+  // wired memory resources to create a shared buffer pool" (§3.2).
+  ResourceAccount c1("client1");
+  ResourceAccount c2("client2");
+  ResourceAccount pool("shared-pool-graft");
+  c1.SetLimit(ResourceType::kWiredMemory, 50);
+  c2.SetLimit(ResourceType::kWiredMemory, 50);
+  ASSERT_EQ(c1.TransferLimit(ResourceType::kWiredMemory, 40, pool), Status::kOk);
+  ASSERT_EQ(c2.TransferLimit(ResourceType::kWiredMemory, 40, pool), Status::kOk);
+  EXPECT_EQ(pool.limit(ResourceType::kWiredMemory), 80u);
+  EXPECT_EQ(pool.Charge(ResourceType::kWiredMemory, 80), Status::kOk);
+}
+
+TEST(ResourceAccountTest, BillingRoutesToSponsor) {
+  ResourceAccount installer("installer");
+  ResourceAccount graft("graft");
+  installer.SetLimit(ResourceType::kMemory, 100);
+  ASSERT_EQ(graft.BillTo(&installer), Status::kOk);
+
+  EXPECT_EQ(graft.Charge(ResourceType::kMemory, 40), Status::kOk);
+  EXPECT_EQ(installer.usage(ResourceType::kMemory), 40u);
+  EXPECT_EQ(graft.usage(ResourceType::kMemory), 0u);  // Charged upstream.
+
+  graft.Uncharge(ResourceType::kMemory, 40);
+  EXPECT_EQ(installer.usage(ResourceType::kMemory), 0u);
+}
+
+TEST(ResourceAccountTest, BillingChainFollowedToRoot) {
+  ResourceAccount root("root");
+  ResourceAccount mid("mid");
+  ResourceAccount leaf("leaf");
+  root.SetLimit(ResourceType::kMemory, 10);
+  ASSERT_EQ(mid.BillTo(&root), Status::kOk);
+  ASSERT_EQ(leaf.BillTo(&mid), Status::kOk);
+  EXPECT_EQ(leaf.Charge(ResourceType::kMemory, 10), Status::kOk);
+  EXPECT_EQ(root.usage(ResourceType::kMemory), 10u);
+}
+
+TEST(ResourceAccountTest, BillingCycleRejected) {
+  ResourceAccount a("a");
+  ResourceAccount b("b");
+  ASSERT_EQ(a.BillTo(&b), Status::kOk);
+  EXPECT_EQ(b.BillTo(&a), Status::kInvalidArgs);
+  EXPECT_EQ(a.BillTo(&a), Status::kInvalidArgs);
+}
+
+TEST(ResourceAccountTest, ConcurrentChargesNeverExceedLimit) {
+  ResourceAccount account("contended");
+  account.SetLimit(ResourceType::kMemory, 1000);
+  std::atomic<uint64_t> granted{0};
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (IsOk(account.Charge(ResourceType::kMemory, 1))) {
+          granted.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(granted.load(), 1000u);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 1000u);
+}
+
+class ChargeCurrentTest : public ::testing::Test {
+ protected:
+  void TearDown() override { KernelContext::Current().account = nullptr; }
+  TxnManager manager_;
+};
+
+TEST_F(ChargeCurrentTest, NoAccountMeansUnaccounted) {
+  KernelContext::Current().account = nullptr;
+  EXPECT_EQ(ChargeCurrent(ResourceType::kMemory, 1 << 20), Status::kOk);
+}
+
+TEST_F(ChargeCurrentTest, ChargesBoundAccount) {
+  ResourceAccount account("bound");
+  account.SetLimit(ResourceType::kMemory, 10);
+  ScopedAccount scope(&account);
+  EXPECT_EQ(ChargeCurrent(ResourceType::kMemory, 8), Status::kOk);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 8u);
+  EXPECT_EQ(ChargeCurrent(ResourceType::kMemory, 8), Status::kLimitExceeded);
+  UnchargeCurrent(ResourceType::kMemory, 8);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 0u);
+}
+
+TEST_F(ChargeCurrentTest, AbortReturnsCharges) {
+  // "If we terminate the thread, we undo any kernel state changes ...
+  // releasing any resources held by the thread" (§2.2).
+  ResourceAccount account("graft");
+  account.SetLimit(ResourceType::kMemory, 100);
+  ScopedAccount scope(&account);
+
+  Transaction* txn = manager_.Begin();
+  EXPECT_EQ(ChargeCurrent(ResourceType::kMemory, 64), Status::kOk);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 64u);
+  manager_.Abort(txn, Status::kTxnAborted);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 0u);
+}
+
+TEST_F(ChargeCurrentTest, CommitKeepsCharges) {
+  ResourceAccount account("graft");
+  account.SetLimit(ResourceType::kMemory, 100);
+  ScopedAccount scope(&account);
+
+  Transaction* txn = manager_.Begin();
+  EXPECT_EQ(ChargeCurrent(ResourceType::kMemory, 64), Status::kOk);
+  EXPECT_EQ(manager_.Commit(txn), Status::kOk);
+  EXPECT_EQ(account.usage(ResourceType::kMemory), 64u);
+}
+
+TEST_F(ChargeCurrentTest, ScopedAccountSwapsAndRestores) {
+  ResourceAccount outer("outer");
+  ResourceAccount inner("inner");
+  KernelContext::Current().account = &outer;
+  {
+    ScopedAccount swap(&inner);
+    EXPECT_EQ(KernelContext::Current().account, &inner);
+  }
+  EXPECT_EQ(KernelContext::Current().account, &outer);
+}
+
+}  // namespace
+}  // namespace vino

@@ -1,0 +1,295 @@
+// Edge cases and hostile inputs across modules: memory-image boundaries,
+// interpreter corner cases, multi-block file reads, concurrent event
+// dispatch, cross-thread watchdog arming.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "src/base/context.h"
+#include "src/fs/file_system.h"
+#include "src/graft/event_point.h"
+#include "src/graft/namespace.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/memory_image.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/vm.h"
+#include "src/txn/watchdog.h"
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kRoot{0, true};
+
+// --- MemoryImage boundaries ---------------------------------------------
+
+TEST(MemoryImageTest, ArenaAlignedToItsSize) {
+  for (uint32_t log2 : {4u, 12u, 16u, 20u}) {
+    MemoryImage image(5000, log2);
+    EXPECT_EQ(image.arena_base() % image.arena_size(), 0u) << log2;
+    EXPECT_GE(image.arena_base(), image.kernel_size());
+    EXPECT_EQ(image.arena_size(), uint64_t{1} << log2);
+  }
+}
+
+TEST(MemoryImageTest, ArenaNeverAtAddressZero) {
+  MemoryImage image(0, 16);  // Even with an empty kernel region.
+  EXPECT_GT(image.arena_base(), 0u);
+}
+
+TEST(MemoryImageTest, GuardBytesAbsorbWideAccessAtArenaEnd) {
+  MemoryImage image(4096, 12);
+  const uint64_t last_byte = image.arena_base() + image.arena_size() - 1;
+  // An 8-byte access at the final arena byte stays in bounds (guard).
+  EXPECT_TRUE(image.InBounds(last_byte, 8));
+  // But it is not "in arena" (host-call destination checks still refuse).
+  EXPECT_FALSE(image.InArena(last_byte, 8));
+  EXPECT_TRUE(image.InArena(last_byte, 1));
+}
+
+TEST(MemoryImageTest, CheckedAccessorsRejectOutOfBounds) {
+  MemoryImage image(4096, 12);
+  uint8_t buf[16] = {};
+  EXPECT_EQ(image.Read(image.total_size(), buf, 1), Status::kOutOfRange);
+  EXPECT_EQ(image.Write(image.total_size() - 4, buf, 8), Status::kOutOfRange);
+  EXPECT_EQ(image.Read(~0ull, buf, 1), Status::kOutOfRange);
+  // Overflow-probing length.
+  EXPECT_EQ(image.Read(8, buf, ~0ull), Status::kOutOfRange);
+}
+
+TEST(MemoryImageTest, InArenaRejectsOverflowingRanges) {
+  MemoryImage image(4096, 12);
+  EXPECT_FALSE(image.InArena(image.arena_base(), image.arena_size() + 1));
+  EXPECT_FALSE(image.InArena(~0ull, 1));
+  EXPECT_TRUE(image.InArena(image.arena_base(), image.arena_size()));
+}
+
+// --- Interpreter corner cases ---------------------------------------------
+
+class VmEdgeTest : public ::testing::Test {
+ protected:
+  VmEdgeTest() : image_(4096, 16), vm_(&image_, &host_) {}
+  HostCallTable host_;
+  MemoryImage image_;
+  Vm vm_;
+};
+
+TEST_F(VmEdgeTest, EmptyProgramRejected) {
+  Program p;
+  EXPECT_EQ(vm_.Run(p, {}, RunOptions{}).status, Status::kBadGraft);
+}
+
+TEST_F(VmEdgeTest, FallingOffTheEndTrapsNotCrashes) {
+  // Hand-built program that skips verification: branch past the last
+  // instruction.
+  Program p;
+  p.name = "fall";
+  p.code.push_back(Instruction{Op::kNop, 0, 0, 0, 0});
+  EXPECT_EQ(vm_.Run(p, {}, RunOptions{}).status, Status::kBadGraft);
+}
+
+TEST_F(VmEdgeTest, DivisionByZeroYieldsZero) {
+  Asm a("div0");
+  a.LoadImm(R1, 42).LoadImm(R2, 0).DivU(R0, R1, R2).Halt();
+  EXPECT_EQ(vm_.Run(*a.Finish(), {}, RunOptions{}).ret, 0u);
+  Asm b("rem0");
+  b.LoadImm(R1, 42).LoadImm(R2, 0).RemU(R0, R1, R2).Halt();
+  EXPECT_EQ(vm_.Run(*b.Finish(), {}, RunOptions{}).ret, 0u);
+}
+
+TEST_F(VmEdgeTest, ExtraArgumentsBeyondSixIgnored) {
+  Asm a("argsum");
+  a.Add(R0, R0, R5).Halt();
+  const std::vector<uint64_t> args{1, 0, 0, 0, 0, 6, 999, 999};
+  const RunOutcome out = vm_.Run(*a.Finish(), args, RunOptions{});
+  EXPECT_EQ(out.ret, 7u);  // r0=1 + r5=6; args 7 and 8 dropped.
+}
+
+TEST_F(VmEdgeTest, ShiftAmountsMasked) {
+  Asm a("shifts");
+  a.LoadImm(R1, 1).LoadImm(R2, 64).Shl(R0, R1, R2).Halt();  // 64 & 63 == 0.
+  EXPECT_EQ(vm_.Run(*a.Finish(), {}, RunOptions{}).ret, 1u);
+}
+
+TEST_F(VmEdgeTest, SignedBranchesUseSignedComparison) {
+  Asm a("signed");
+  auto less = a.NewLabel();
+  a.LoadImm(R1, -5).LoadImm(R2, 3);
+  a.BltS(R1, R2, less);
+  a.LoadImm(R0, 0).Halt();
+  a.Bind(less);
+  a.LoadImm(R0, 1).Halt();
+  EXPECT_EQ(vm_.Run(*a.Finish(), {}, RunOptions{}).ret, 1u);
+
+  // Unsigned comparison sees -5 as huge.
+  Asm b("unsigned");
+  auto less_u = b.NewLabel();
+  b.LoadImm(R1, -5).LoadImm(R2, 3);
+  b.BltU(R1, R2, less_u);
+  b.LoadImm(R0, 0).Halt();
+  b.Bind(less_u);
+  b.LoadImm(R0, 1).Halt();
+  EXPECT_EQ(vm_.Run(*b.Finish(), {}, RunOptions{}).ret, 0u);
+}
+
+TEST_F(VmEdgeTest, RawEscapeHatchStillVerified) {
+  Asm a("raw");
+  a.Raw(Instruction{static_cast<Op>(200), 0, 0, 0, 0});
+  a.Halt();
+  EXPECT_FALSE(a.Finish().ok());
+}
+
+TEST_F(VmEdgeTest, CallToUnregisteredIdTraps) {
+  Asm a("wildcall");
+  a.Call(777).Halt();
+  EXPECT_EQ(vm_.Run(*a.Finish(), {}, RunOptions{}).status, Status::kSfiTrap);
+}
+
+// --- File system: multi-block reads ---------------------------------------
+
+class FsEdgeTest : public ::testing::Test {
+ protected:
+  FsEdgeTest()
+      : disk_(DiskParams{}, &clock_),
+        cache_(64, 8, &disk_, &clock_),
+        fs_(&disk_, &cache_, &txn_, &host_, &ns_) {}
+  ManualClock clock_;
+  SimDisk disk_;
+  BufferCache cache_;
+  TxnManager txn_;
+  HostCallTable host_;
+  GraftNamespace ns_;
+  FlatFileSystem fs_;
+};
+
+TEST_F(FsEdgeTest, ReadSpanningBlocksFetchesEach) {
+  Result<FileId> id = fs_.CreateFile("f", 16 * 4096);
+  ASSERT_TRUE(id.ok());
+  Result<OpenFile*> f = fs_.Open(*id);
+  ASSERT_TRUE(f.ok());
+  // Bytes [2000, 12000) starting mid-block: touches blocks 0, 1, 2.
+  Result<OpenFile::ReadResult> r = (*f)->Read(2000, 10000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(cache_.stats().demand_reads, 3u);
+  EXPECT_GT(r->stall, 0u);
+}
+
+TEST_F(FsEdgeTest, SequentialWindowStopsAtEof) {
+  Result<FileId> id = fs_.CreateFile("f", 3 * 4096);
+  ASSERT_TRUE(id.ok());
+  Result<OpenFile*> f = fs_.Open(*id);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Read(0, 4096).ok());
+  ASSERT_TRUE((*f)->Read(4096, 4096).ok());  // Sequential: prefetch ahead.
+  // Only one block remains before EOF; the window must clamp.
+  EXPECT_LE((*f)->stats().prefetches_enqueued, 1u);
+}
+
+TEST_F(FsEdgeTest, CursorAdvancesAcrossReads) {
+  Result<FileId> id = fs_.CreateFile("f", 8 * 4096);
+  ASSERT_TRUE(id.ok());
+  Result<OpenFile*> f = fs_.Open(*id);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Read(4096).ok());  // Cursor read.
+  EXPECT_EQ((*f)->offset(), 4096u);
+  ASSERT_TRUE((*f)->Read(100).ok());
+  EXPECT_EQ((*f)->offset(), 4196u);
+}
+
+TEST_F(FsEdgeTest, PrefetchOfCachedBlockIsFreeTrue) {
+  Result<FileId> id = fs_.CreateFile("f", 8 * 4096);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(cache_.Read(0).ok());
+  EXPECT_TRUE(cache_.Prefetch(0));  // Already cached: trivially satisfied.
+  EXPECT_EQ(cache_.stats().prefetches_issued, 0u);
+}
+
+// --- Concurrent event dispatch ---------------------------------------------
+
+TEST(EventStressTest, ConcurrentAsyncDispatches) {
+  TxnManager txn;
+  HostCallTable host;
+  std::atomic<uint64_t> runs{0};
+  EventGraftPoint point("stress.ev", EventGraftPoint::Config{}, &txn, &host,
+                        nullptr);
+  auto counter = std::make_shared<Graft>(
+      "counter",
+      [&runs](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+        runs.fetch_add(1);
+        return 0ull;
+      },
+      kRoot);
+  counter->account().SetLimit(ResourceType::kThreads, 64);
+  ASSERT_EQ(point.AddHandler(counter, 1), Status::kOk);
+
+  for (int i = 0; i < 32; ++i) {
+    point.DispatchAsync({static_cast<uint64_t>(i)});
+  }
+  point.Drain();
+  EXPECT_EQ(runs.load(), 32u);
+  EXPECT_EQ(point.stats().handler_runs, 32u);
+  EXPECT_EQ(counter->account().usage(ResourceType::kThreads), 0u);
+}
+
+TEST(EventStressTest, MixedSyncAsyncDispatch) {
+  TxnManager txn;
+  HostCallTable host;
+  std::atomic<uint64_t> runs{0};
+  EventGraftPoint point("mixed.ev", EventGraftPoint::Config{}, &txn, &host,
+                        nullptr);
+  auto counter = std::make_shared<Graft>(
+      "counter",
+      [&runs](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+        runs.fetch_add(1);
+        return 0ull;
+      },
+      kRoot);
+  counter->account().SetLimit(ResourceType::kThreads, 8);
+  ASSERT_EQ(point.AddHandler(counter, 1), Status::kOk);
+
+  std::thread t([&point] {
+    for (int i = 0; i < 10; ++i) {
+      point.DispatchAsync({1});
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    point.Dispatch({});
+  }
+  t.join();
+  point.Drain();
+  EXPECT_EQ(runs.load(), 20u);
+}
+
+// --- Watchdog cross-thread arming -----------------------------------------
+
+TEST(WatchdogCrossThreadTest, ArmForOtherThread) {
+  Watchdog dog(1'000);
+  std::atomic<uint64_t> victim_os_id{0};
+  std::atomic<bool> victim_aborted{false};
+
+  std::thread victim([&] {
+    TxnManager manager;
+    Transaction* txn = manager.Begin();
+    victim_os_id.store(KernelContext::Current().os_id);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (!TxnManager::AbortPending() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    victim_aborted.store(TxnManager::AbortPending());
+    manager.Abort(txn, Status::kTxnTimedOut);
+  });
+
+  while (victim_os_id.load() == 0) {
+    std::this_thread::yield();
+  }
+  // A supervisor thread arms a budget for the victim.
+  (void)dog.ArmFor(victim_os_id.load(), 2'000, Status::kTxnTimedOut);
+  victim.join();
+  EXPECT_TRUE(victim_aborted.load());
+  EXPECT_GE(dog.fires(), 1u);
+}
+
+}  // namespace
+}  // namespace vino

@@ -1,0 +1,218 @@
+// Table 1, rule by rule: "Rules for Grafting. Based on the ways in which
+// grafts might corrupt the kernel, we derive these rules for creating a
+// safe, stable extensible kernel."
+//
+// Each test asserts one rule end-to-end through the real pipeline. Several
+// overlap with scenarios in other suites; this file is the explicit
+// regression contract for the paper's central table.
+
+#include <gtest/gtest.h>
+
+#include "src/graft/loader.h"
+#include "src/mem/memory_system.h"
+#include "src/sched/scheduler.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/txn/accessor.h"
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kUser{1001, false};
+constexpr GraftIdentity kRoot{0, true};
+
+class RulesTest : public ::testing::Test {
+ protected:
+  RulesTest()
+      : authority_("rules-key"),
+        loader_(&ns_, &host_, SigningAuthority("rules-key")) {}
+
+  std::shared_ptr<Graft> Load(Asm& a, GraftIdentity who = kUser) {
+    Result<Program> inst = Instrument(*a.Finish());
+    EXPECT_TRUE(inst.ok());
+    Result<SignedGraft> sg = authority_.Sign(*inst);
+    EXPECT_TRUE(sg.ok());
+    Result<std::shared_ptr<Graft>> g = loader_.Load(*sg, {who, nullptr});
+    EXPECT_TRUE(g.ok());
+    return *g;
+  }
+
+  TxnManager txn_;
+  HostCallTable host_;
+  GraftNamespace ns_;
+  SigningAuthority authority_;
+  GraftLoader loader_;
+};
+
+TEST_F(RulesTest, Rule1_GraftsMustBePreemptible) {
+  // An infinite loop is stopped at a preemption point (fuel/poll), not by
+  // luck: the invocation returns, bounded.
+  Asm a("spin");
+  auto top = a.NewLabel();
+  a.Bind(top);
+  a.Jmp(top);
+  auto spin = Load(a);
+
+  FunctionGraftPoint::Config config;
+  config.fuel = 50'000;
+  FunctionGraftPoint point(
+      "r1", [](std::span<const uint64_t>) -> uint64_t { return 1; }, config,
+      &txn_, &host_, &ns_);
+  ASSERT_EQ(point.Replace(spin), Status::kOk);
+  EXPECT_EQ(point.Invoke({}), 1u);  // Returned: preempted and defaulted.
+}
+
+TEST_F(RulesTest, Rule2_NoExcessiveLockOrResourceHolding) {
+  // Quantity-constrained: zero-limit grafts cannot take resources.
+  const uint32_t alloc = host_.Register(
+      "r2.alloc",
+      [](HostCallContext& ctx) -> Result<uint64_t> {
+        const Status s = ChargeCurrent(ResourceType::kMemory, ctx.args[0]);
+        if (!IsOk(s)) {
+          return s;
+        }
+        return 0ull;
+      },
+      true);
+  Asm a("hog");
+  a.LoadImm(R0, 1 << 20).Call(alloc).Halt();
+  auto hog = Load(a);
+  FunctionGraftPoint point(
+      "r2", [](std::span<const uint64_t>) -> uint64_t { return 1; },
+      FunctionGraftPoint::Config{}, &txn_, &host_, &ns_);
+  ASSERT_EQ(point.Replace(hog), Status::kOk);
+  EXPECT_EQ(point.Invoke({}), 1u);
+  EXPECT_EQ(hog->account().usage(ResourceType::kMemory), 0u);
+  // (Time-constrained lock holding is covered by
+  //  TxnLockTest.WaiterTimeoutAbortsHoldersTransaction.)
+}
+
+TEST_F(RulesTest, Rule3_NoUnpermittedMemoryAccess) {
+  Asm a("peek");
+  a.LoadImm(R1, 16).Ld64(R0, R1).Halt();  // Kernel address 16.
+  auto peek = Load(a);
+  constexpr uint64_t secret = 0x5ec2e7ull;
+  ASSERT_EQ(peek->image().WriteU64(16, secret), Status::kOk);
+
+  FunctionGraftPoint point(
+      "r3", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &txn_, &host_, &ns_);
+  ASSERT_EQ(point.Replace(peek), Status::kOk);
+  EXPECT_NE(point.Invoke({}), secret);  // Masked into the arena instead.
+}
+
+TEST_F(RulesTest, Rule4_NoCallsReturningUnpermittedData) {
+  // The data-returning function is simply not on the graft-callable list;
+  // link-time refusal.
+  const uint32_t leak = host_.Register(
+      "r4.leak_user_data",
+      [](HostCallContext&) -> Result<uint64_t> { return 0xdeadull; },
+      /*graft_callable=*/false);
+  Asm a("leaker");
+  a.Call(leak).Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> sg = authority_.Sign(*inst);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(loader_.Load(*sg, {kUser, nullptr}).status(), Status::kIllegalCall);
+}
+
+TEST_F(RulesTest, Rule5_NoReplacingRestrictedFunctions) {
+  FunctionGraftPoint::Config config;
+  config.restricted = true;
+  FunctionGraftPoint global(
+      "r5.global-policy", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      config, &txn_, &host_, &ns_);
+  Asm a("biased");
+  a.LoadImm(R0, 1).Halt();
+  auto biased = Load(a, kUser);
+  EXPECT_EQ(loader_.InstallFunction("r5.global-policy", biased),
+            Status::kRestrictedPoint);
+  Asm b("admin");
+  b.LoadImm(R0, 1).Halt();
+  EXPECT_EQ(loader_.InstallFunction("r5.global-policy", Load(b, kRoot)),
+            Status::kOk);
+}
+
+TEST_F(RulesTest, Rule6_OnlyKnownSafeGraftsExecute) {
+  // Unsigned, tampered, and uninstrumented code never loads.
+  Asm a("raw");
+  a.LoadImm(R0, 1).Halt();
+  Result<Program> raw = a.Finish();
+  ASSERT_TRUE(raw.ok());
+  // (a) Uninstrumented: the authority refuses to sign it at all.
+  EXPECT_EQ(authority_.Sign(*raw).status(), Status::kNotInstrumented);
+  // (b) Self-signed garbage: loader refuses.
+  SignedGraft forged;
+  forged.program = *Instrument(*raw);
+  forged.signature.fill(0xab);
+  EXPECT_EQ(loader_.Load(forged, {kUser, nullptr}).status(),
+            Status::kBadSignature);
+}
+
+TEST_F(RulesTest, Rule7_NoCallingUnpermittedFunctions) {
+  // Run-time variant of rule 4: indirect call checked against the hash
+  // table, transaction aborted.
+  const uint32_t internal = host_.Register(
+      "r7.internal", [](HostCallContext&) -> Result<uint64_t> { return 1ull; },
+      false);
+  Asm a("wild");
+  a.LoadImm(R1, internal).CallR(R1).Halt();
+  auto wild = Load(a);
+  FunctionGraftPoint point(
+      "r7", [](std::span<const uint64_t>) -> uint64_t { return 9; },
+      FunctionGraftPoint::Config{}, &txn_, &host_, &ns_);
+  ASSERT_EQ(point.Replace(wild), Status::kOk);
+  EXPECT_EQ(point.Invoke({}), 9u);
+  EXPECT_EQ(txn_.stats().aborts, 1u);
+}
+
+TEST_F(RulesTest, Rule8_MaliceConfinedToConsentingApplications) {
+  // Scheduling: a delegate cannot move CPU across group lines.
+  ManualClock clock;
+  Scheduler sched(Scheduler::Params{}, &clock, &txn_, &host_, &ns_);
+  KernelThread* donor = sched.CreateThread("donor", 1);
+  KernelThread* outsider = sched.CreateThread("outsider", 2);
+  Asm a("steal");
+  a.LoadImm(R0, static_cast<int64_t>(outsider->id())).Halt();
+  ASSERT_EQ(donor->delegate_point().Replace(Load(a)), Status::kOk);
+  EXPECT_EQ(sched.ScheduleOnce(), donor);
+  EXPECT_EQ(outsider->dispatches(), 0u);
+
+  // Memory: an eviction graft cannot name another VAS's page.
+  MemorySystem mem(8, &txn_, &host_, &ns_);
+  VirtualAddressSpace* evil = mem.CreateVas("evil", 4);
+  VirtualAddressSpace* bystander = mem.CreateVas("bystander", 4);
+  ASSERT_TRUE(mem.Touch(evil->id(), 0).ok());
+  ASSERT_TRUE(mem.Touch(bystander->id(), 0).ok());
+  evil->FindResident(0)->referenced = false;
+  bystander->FindResident(0)->referenced = false;
+  Page* target = bystander->FindResident(0);
+  Asm b("evict-bystander");
+  b.LoadImm(R0, static_cast<int64_t>(target->id)).Halt();
+  ASSERT_EQ(evil->eviction_point().Replace(Load(b)), Status::kOk);
+  ASSERT_EQ(mem.EvictOne(), Status::kOk);
+  EXPECT_TRUE(target->resident);
+}
+
+TEST_F(RulesTest, Rule9_KernelMakesProgressWithFaultyGraftInPath) {
+  // A hung graft sits directly on the page daemon's critical path; the
+  // daemon still reclaims memory.
+  MemorySystem mem(8, &txn_, &host_, &ns_);
+  VirtualAddressSpace* vas = mem.CreateVas("app", 8);
+  for (uint64_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(mem.Touch(vas->id(), i).ok());
+    vas->FindResident(i)->referenced = false;
+  }
+  Asm a("hang");
+  auto top = a.NewLabel();
+  a.Bind(top);
+  a.Jmp(top);
+  ASSERT_EQ(vas->eviction_point().Replace(Load(a)), Status::kOk);
+
+  EXPECT_EQ(mem.RunPageDaemon(4), Status::kOk);
+  EXPECT_GE(mem.pool().free_count(), 4u);
+}
+
+}  // namespace
+}  // namespace vino

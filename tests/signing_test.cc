@@ -1,0 +1,150 @@
+// Code-signing tests: the loader's trust decision (Rule 6).
+
+#include <gtest/gtest.h>
+
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/signing.h"
+
+namespace vino {
+namespace {
+
+Program MakeProgram() {
+  Asm a("signed-prog");
+  a.LoadImm(R0, 7).Halt();
+  Result<Program> p = a.Finish();
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+TEST(SigningTest, SignAndVerify) {
+  SigningAuthority authority("misfit-key");
+  Result<Program> inst = Instrument(MakeProgram());
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> signed_graft = authority.Sign(*inst);
+  ASSERT_TRUE(signed_graft.ok());
+  EXPECT_TRUE(authority.Verify(*signed_graft));
+}
+
+TEST(SigningTest, RefusesUninstrumentedPrograms) {
+  SigningAuthority authority("misfit-key");
+  EXPECT_EQ(authority.Sign(MakeProgram()).status(), Status::kNotInstrumented);
+}
+
+TEST(SigningTest, TamperedCodeFailsVerification) {
+  SigningAuthority authority("misfit-key");
+  Result<Program> inst = Instrument(MakeProgram());
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> signed_graft = authority.Sign(*inst);
+  ASSERT_TRUE(signed_graft.ok());
+
+  SignedGraft tampered = *signed_graft;
+  tampered.program.code[0].imm = 666;  // Patch the code post-signing.
+  EXPECT_FALSE(authority.Verify(tampered));
+}
+
+TEST(SigningTest, TamperedMetadataFailsVerification) {
+  SigningAuthority authority("misfit-key");
+  Result<Program> inst = Instrument(MakeProgram(), MisfitOptions{16});
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> signed_graft = authority.Sign(*inst);
+  ASSERT_TRUE(signed_graft.ok());
+
+  // Claiming a bigger sandbox than instrumented-for must not verify.
+  SignedGraft tampered = *signed_graft;
+  tampered.program.sandbox_log2 = 30;
+  EXPECT_FALSE(authority.Verify(tampered));
+
+  // Injecting an extra "approved" direct-call id must not verify either.
+  SignedGraft tampered2 = *signed_graft;
+  tampered2.program.direct_call_ids.push_back(1);
+  EXPECT_FALSE(authority.Verify(tampered2));
+}
+
+TEST(SigningTest, WrongKeyFailsVerification) {
+  SigningAuthority signer("key-A");
+  SigningAuthority verifier("key-B");
+  Result<Program> inst = Instrument(MakeProgram());
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> signed_graft = signer.Sign(*inst);
+  ASSERT_TRUE(signed_graft.ok());
+  EXPECT_FALSE(verifier.Verify(*signed_graft));
+}
+
+TEST(SigningTest, ForgedInstrumentedFlagFailsVerification) {
+  // An attacker flips instrumented=true on raw code and reuses an old
+  // signature: the digest covers the flag and the code, so it cannot pass.
+  SigningAuthority authority("misfit-key");
+  Result<Program> inst = Instrument(MakeProgram());
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> good = authority.Sign(*inst);
+  ASSERT_TRUE(good.ok());
+
+  SignedGraft forged;
+  forged.program = MakeProgram();
+  forged.program.instrumented = true;  // Lie.
+  forged.signature = good->signature;  // Stolen signature.
+  EXPECT_FALSE(authority.Verify(forged));
+}
+
+// --- Container serialization (graftc/graftdump format) -----------------
+
+TEST(SignedGraftContainerTest, RoundTrip) {
+  SigningAuthority authority("misfit-key");
+  Result<Program> inst = Instrument(MakeProgram());
+  ASSERT_TRUE(inst.ok());
+  Result<SignedGraft> signed_graft = authority.Sign(*inst);
+  ASSERT_TRUE(signed_graft.ok());
+
+  const std::vector<uint8_t> bytes = SerializeSignedGraft(*signed_graft);
+  Result<SignedGraft> restored = DeserializeSignedGraft(bytes);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->signature, signed_graft->signature);
+  EXPECT_EQ(restored->program.code, signed_graft->program.code);
+  EXPECT_EQ(restored->program.name, signed_graft->program.name);
+  EXPECT_TRUE(authority.Verify(*restored));
+}
+
+TEST(SignedGraftContainerTest, BadMagicRejected) {
+  std::vector<uint8_t> bytes(64, 0);
+  EXPECT_FALSE(DeserializeSignedGraft(bytes).ok());
+}
+
+TEST(SignedGraftContainerTest, TruncatedRejected) {
+  SigningAuthority authority("misfit-key");
+  Result<SignedGraft> sg = authority.Sign(*Instrument(MakeProgram()));
+  ASSERT_TRUE(sg.ok());
+  std::vector<uint8_t> bytes = SerializeSignedGraft(*sg);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_FALSE(DeserializeSignedGraft(bytes).ok());
+  bytes.resize(10);  // Shorter than the header.
+  EXPECT_FALSE(DeserializeSignedGraft(bytes).ok());
+}
+
+TEST(SignedGraftContainerTest, BitFlipInContainerFailsVerification) {
+  // A flipped bit anywhere — signature or code — must not verify.
+  SigningAuthority authority("misfit-key");
+  Result<SignedGraft> sg = authority.Sign(*Instrument(MakeProgram()));
+  ASSERT_TRUE(sg.ok());
+  const std::vector<uint8_t> clean = SerializeSignedGraft(*sg);
+  int rejected = 0;
+  int parse_failures = 0;
+  for (size_t bit = 0; bit < clean.size() * 8; bit += 37) {  // Sampled bits.
+    std::vector<uint8_t> dirty = clean;
+    dirty[bit / 8] = static_cast<uint8_t>(dirty[bit / 8] ^ (1u << (bit % 8)));
+    Result<SignedGraft> restored = DeserializeSignedGraft(dirty);
+    if (!restored.ok()) {
+      ++parse_failures;  // Header/structure damage.
+      continue;
+    }
+    if (!authority.Verify(*restored)) {
+      ++rejected;
+    }
+  }
+  // Every flip either failed to parse or failed to verify.
+  EXPECT_EQ(rejected + parse_failures,
+            static_cast<int>((clean.size() * 8 + 36) / 37));
+}
+
+}  // namespace
+}  // namespace vino

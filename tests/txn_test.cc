@@ -1,0 +1,296 @@
+// Transaction system tests: undo log replay, nesting, commit/abort
+// semantics, accessor helpers, and async abort requests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/base/context.h"
+#include "src/txn/accessor.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_manager.h"
+#include "src/txn/undo_log.h"
+
+namespace vino {
+namespace {
+
+TEST(UndoLogTest, ReplaysLifo) {
+  UndoLog log;
+  std::vector<int> order;
+  log.PushClosure([&order] { order.push_back(1); });
+  log.PushClosure([&order] { order.push_back(2); });
+  log.PushClosure([&order] { order.push_back(3); });
+  log.ReplayAndClear();
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 1}));
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(UndoLogTest, InlineEntriesAvoidAllocation) {
+  UndoLog log;
+  static uint64_t slot = 0;
+  slot = 11;
+  log.PushRestoreU64(&slot);
+  slot = 99;
+  log.ReplayAndClear();
+  EXPECT_EQ(slot, 11u);
+}
+
+TEST(UndoLogTest, MergePreservesGlobalLifoOrder) {
+  UndoLog parent;
+  UndoLog child;
+  std::vector<std::string> order;
+  parent.PushClosure([&order] { order.push_back("parent-1"); });
+  child.PushClosure([&order] { order.push_back("child-1"); });
+  child.PushClosure([&order] { order.push_back("child-2"); });
+  child.MergeInto(parent);
+  EXPECT_TRUE(child.empty());
+  EXPECT_EQ(parent.size(), 3u);
+  parent.ReplayAndClear();
+  // Child ops happened after parent-1, so they undo first, newest first.
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"child-2", "child-1", "parent-1"}));
+}
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    // No transaction may leak across tests.
+    ASSERT_EQ(TxnManager::Current(), nullptr);
+  }
+  TxnManager manager_;
+};
+
+TEST_F(TxnTest, CommitDiscardUndo) {
+  uint64_t state = 1;
+  Transaction* txn = manager_.Begin();
+  EXPECT_EQ(TxnManager::Current(), txn);
+  TxnSet(&state, uint64_t{2});
+  EXPECT_EQ(state, 2u);
+  EXPECT_EQ(manager_.Commit(txn), Status::kOk);
+  EXPECT_EQ(state, 2u);  // Committed state survives.
+  EXPECT_EQ(TxnManager::Current(), nullptr);
+}
+
+TEST_F(TxnTest, AbortReplaysUndo) {
+  uint64_t state = 1;
+  Transaction* txn = manager_.Begin();
+  TxnSet(&state, uint64_t{2});
+  TxnSet(&state, uint64_t{3});
+  manager_.Abort(txn, Status::kTxnAborted);
+  EXPECT_EQ(state, 1u);  // Both writes undone, in LIFO order.
+  EXPECT_EQ(TxnManager::Current(), nullptr);
+}
+
+TEST_F(TxnTest, TxnSetWithoutTransactionIsPlainWrite) {
+  uint64_t state = 1;
+  TxnSet(&state, uint64_t{5});
+  EXPECT_EQ(state, 5u);
+}
+
+TEST_F(TxnTest, NestedCommitMergesIntoParent) {
+  uint64_t a = 1;
+  uint64_t b = 10;
+  Transaction* parent = manager_.Begin();
+  TxnSet(&a, uint64_t{2});
+
+  Transaction* child = manager_.Begin();
+  EXPECT_EQ(child->parent(), parent);
+  EXPECT_EQ(child->depth(), 1);
+  TxnSet(&b, uint64_t{20});
+  EXPECT_EQ(manager_.Commit(child), Status::kOk);
+  EXPECT_EQ(TxnManager::Current(), parent);
+
+  // Aborting the parent now undoes the child's committed work too.
+  manager_.Abort(parent, Status::kTxnAborted);
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 10u);
+}
+
+TEST_F(TxnTest, NestedAbortDoesNotDisturbParent) {
+  // "any graft can abort without aborting its calling graft" (§3.1).
+  uint64_t a = 1;
+  uint64_t b = 10;
+  Transaction* parent = manager_.Begin();
+  TxnSet(&a, uint64_t{2});
+
+  Transaction* child = manager_.Begin();
+  TxnSet(&b, uint64_t{20});
+  manager_.Abort(child, Status::kTxnAborted);
+  EXPECT_EQ(b, 10u);  // Child undone.
+  EXPECT_EQ(a, 2u);   // Parent's write intact.
+  EXPECT_EQ(TxnManager::Current(), parent);
+
+  EXPECT_EQ(manager_.Commit(parent), Status::kOk);
+  EXPECT_EQ(a, 2u);
+}
+
+TEST_F(TxnTest, DeepNesting) {
+  uint64_t state[8] = {};
+  std::vector<Transaction*> txns;
+  for (int i = 0; i < 8; ++i) {
+    txns.push_back(manager_.Begin());
+    TxnSet(&state[i], uint64_t{1});
+  }
+  EXPECT_EQ(txns.back()->depth(), 7);
+  // Commit the inner four, abort the rest: writes 4..7 merged upward into
+  // txn 3, which aborts, undoing everything from depth >= 3.
+  for (int i = 7; i >= 4; --i) {
+    EXPECT_EQ(manager_.Commit(txns[static_cast<size_t>(i)]), Status::kOk);
+  }
+  manager_.Abort(txns[3], Status::kTxnAborted);
+  for (int i = 2; i >= 0; --i) {
+    EXPECT_EQ(manager_.Commit(txns[static_cast<size_t>(i)]), Status::kOk);
+  }
+  EXPECT_EQ(state[0], 1u);
+  EXPECT_EQ(state[1], 1u);
+  EXPECT_EQ(state[2], 1u);
+  for (int i = 3; i < 8; ++i) {
+    EXPECT_EQ(state[i], 0u) << i;
+  }
+}
+
+TEST_F(TxnTest, RequestAbortTurnsCommitIntoAbort) {
+  uint64_t state = 1;
+  Transaction* txn = manager_.Begin();
+  TxnSet(&state, uint64_t{2});
+  txn->RequestAbort(Status::kTxnTimedOut);
+  EXPECT_TRUE(txn->abort_requested());
+  EXPECT_EQ(manager_.Commit(txn), Status::kTxnTimedOut);
+  EXPECT_EQ(state, 1u);
+  EXPECT_EQ(TxnManager::Current(), nullptr);
+  EXPECT_EQ(manager_.stats().timeout_aborts, 1u);
+}
+
+TEST_F(TxnTest, PostedThreadAbortIsPickedUpByPoll) {
+  Transaction* txn = manager_.Begin();
+  const uint64_t os_id = KernelContext::Current().os_id;
+  EXPECT_FALSE(TxnManager::AbortPending());
+
+  EXPECT_TRUE(KernelContext::PostAbortRequest(
+      os_id, static_cast<int32_t>(Status::kTxnTimedOut)));
+  EXPECT_TRUE(TxnManager::AbortPending());
+  EXPECT_TRUE(txn->abort_requested());
+  EXPECT_EQ(txn->abort_reason(), Status::kTxnTimedOut);
+  manager_.Abort(txn, txn->abort_reason());
+}
+
+TEST_F(TxnTest, PostToUnknownThreadFails) {
+  EXPECT_FALSE(KernelContext::PostAbortRequest(
+      0xdeadbeef, static_cast<int32_t>(Status::kTxnTimedOut)));
+}
+
+TEST_F(TxnTest, StaleAbortRequestDoesNotPoisonNextTransaction) {
+  const uint64_t os_id = KernelContext::Current().os_id;
+  EXPECT_TRUE(KernelContext::PostAbortRequest(
+      os_id, static_cast<int32_t>(Status::kTxnTimedOut)));
+  // No transaction active: poll clears it.
+  EXPECT_FALSE(TxnManager::AbortPending());
+  Transaction* txn = manager_.Begin();
+  EXPECT_FALSE(TxnManager::AbortPending());
+  EXPECT_EQ(manager_.Commit(txn), Status::kOk);
+}
+
+TEST_F(TxnTest, TxnScopeAbortsIfNotCommitted) {
+  uint64_t state = 1;
+  {
+    TxnScope scope(manager_);
+    TxnSet(&state, uint64_t{2});
+    // No commit: destructor aborts.
+  }
+  EXPECT_EQ(state, 1u);
+  EXPECT_EQ(manager_.stats().aborts, 1u);
+}
+
+TEST_F(TxnTest, TxnScopeCommit) {
+  uint64_t state = 1;
+  {
+    TxnScope scope(manager_);
+    TxnSet(&state, uint64_t{2});
+    EXPECT_EQ(scope.Commit(), Status::kOk);
+  }
+  EXPECT_EQ(state, 2u);
+}
+
+TEST_F(TxnTest, TxnOnAbortCompensation) {
+  int opens = 0;
+  {
+    TxnScope scope(manager_);
+    ++opens;  // "open a file"
+    TxnOnAbort([&opens] { --opens; });
+    scope.Abort(Status::kTxnAborted);
+  }
+  EXPECT_EQ(opens, 0);
+}
+
+TEST_F(TxnTest, StatsAccumulate) {
+  for (int i = 0; i < 3; ++i) {
+    Transaction* t = manager_.Begin();
+    EXPECT_EQ(manager_.Commit(t), Status::kOk);
+  }
+  Transaction* outer = manager_.Begin();
+  Transaction* inner = manager_.Begin();
+  manager_.Abort(inner, Status::kTxnAborted);
+  EXPECT_EQ(manager_.Commit(outer), Status::kOk);
+
+  const TxnStats s = manager_.stats();
+  EXPECT_EQ(s.begins, 5u);
+  EXPECT_EQ(s.commits, 4u);
+  EXPECT_EQ(s.aborts, 1u);
+  EXPECT_EQ(s.nested_begins, 1u);
+}
+
+TEST_F(TxnTest, DeferredDeleteRunsOnCommitOnly) {
+  int deletes = 0;
+  {
+    Transaction* txn = manager_.Begin();
+    TxnDeferDelete([&deletes] { ++deletes; });
+    EXPECT_EQ(deletes, 0);  // Not yet: the transaction could still abort.
+    EXPECT_EQ(manager_.Commit(txn), Status::kOk);
+  }
+  EXPECT_EQ(deletes, 1);
+}
+
+TEST_F(TxnTest, DeferredDeleteDiscardedOnAbort) {
+  int deletes = 0;
+  Transaction* txn = manager_.Begin();
+  TxnDeferDelete([&deletes] { ++deletes; });
+  manager_.Abort(txn, Status::kTxnAborted);
+  EXPECT_EQ(deletes, 0);  // The aborted graft's delete never happened.
+}
+
+TEST_F(TxnTest, DeferredDeleteRidesNestedCommitToOutcome) {
+  int deletes = 0;
+  Transaction* outer = manager_.Begin();
+  Transaction* inner = manager_.Begin();
+  TxnDeferDelete([&deletes] { ++deletes; });
+  ASSERT_EQ(manager_.Commit(inner), Status::kOk);
+  EXPECT_EQ(deletes, 0);  // Inner committed, but the outer could abort.
+  EXPECT_EQ(outer->deferred_count(), 1u);
+  manager_.Abort(outer, Status::kTxnAborted);
+  EXPECT_EQ(deletes, 0);  // And it did: the delete is gone.
+
+  Transaction* again = manager_.Begin();
+  Transaction* inner2 = manager_.Begin();
+  TxnDeferDelete([&deletes] { ++deletes; });
+  ASSERT_EQ(manager_.Commit(inner2), Status::kOk);
+  ASSERT_EQ(manager_.Commit(again), Status::kOk);
+  EXPECT_EQ(deletes, 1);  // Full commit chain: delete executed once.
+}
+
+TEST_F(TxnTest, DeferredDeleteWithoutTransactionRunsImmediately) {
+  int deletes = 0;
+  TxnDeferDelete([&deletes] { ++deletes; });
+  EXPECT_EQ(deletes, 1);
+}
+
+TEST_F(TxnTest, FirstAbortReasonWins) {
+  Transaction* txn = manager_.Begin();
+  txn->RequestAbort(Status::kTxnLimitExceeded);
+  txn->RequestAbort(Status::kTxnTimedOut);
+  EXPECT_EQ(txn->abort_reason(), Status::kTxnLimitExceeded);
+  manager_.Abort(txn, txn->abort_reason());
+}
+
+}  // namespace
+}  // namespace vino

@@ -1,0 +1,123 @@
+// graftc: the MiSFIT "compiler" driver.
+//
+// Reads a graft in text assembly, instruments it (SFI), signs it with the
+// toolchain key, and writes a signed graft container the kernel's loader
+// accepts. Mirrors the paper's toolchain: "Once a graft has been compiled,
+// processed by MiSFIT, and assembled, it is ready to be grafted into the
+// running system."
+//
+// Usage:
+//   graftc [-k key] [-a arena_log2] [-n name] [--no-instrument] in.vasm out.graft
+//
+// --no-instrument exists so test suites can produce a raw program and watch
+// the loader refuse it; the signing step then fails (the authority never
+// signs unprotected code), and graftc writes nothing.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/signing.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: graftc [-k key] [-a arena_log2] [-n name] "
+               "[--no-instrument] in.vasm out.graft\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string key = "vinolite-default-signing-key";
+  std::string name;
+  uint32_t arena_log2 = 16;
+  bool instrument = true;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k" && i + 1 < argc) {
+      key = argv[++i];
+    } else if (arg == "-a" && i + 1 < argc) {
+      arena_log2 = static_cast<uint32_t>(std::atoi(argv[++i]));
+    } else if (arg == "-n" && i + 1 < argc) {
+      name = argv[++i];
+    } else if (arg == "--no-instrument") {
+      instrument = false;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2) {
+    return Usage();
+  }
+  const std::string& in_path = positional[0];
+  const std::string& out_path = positional[1];
+  if (name.empty()) {
+    // Default graft name: input basename without extension.
+    const size_t slash = in_path.find_last_of('/');
+    const size_t start = slash == std::string::npos ? 0 : slash + 1;
+    const size_t dot = in_path.find_last_of('.');
+    name = in_path.substr(start, dot == std::string::npos || dot < start
+                                     ? std::string::npos
+                                     : dot - start);
+  }
+
+  std::ifstream in(in_path);
+  if (!in) {
+    std::fprintf(stderr, "graftc: cannot open %s\n", in_path.c_str());
+    return 1;
+  }
+  const std::string source((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+
+  vino::Result<vino::Program> program = vino::Assemble(source, name, nullptr);
+  if (!program.ok()) {
+    std::fprintf(stderr, "graftc: assembly failed: %s\n",
+                 std::string(vino::StatusName(program.status())).c_str());
+    return 1;
+  }
+
+  vino::Program final_program = *program;
+  if (instrument) {
+    vino::Result<vino::Program> inst =
+        vino::Instrument(final_program, vino::MisfitOptions{arena_log2});
+    if (!inst.ok()) {
+      std::fprintf(stderr, "graftc: instrumentation failed: %s\n",
+                   std::string(vino::StatusName(inst.status())).c_str());
+      return 1;
+    }
+    final_program = *inst;
+  }
+
+  vino::SigningAuthority authority(key);
+  vino::Result<vino::SignedGraft> signed_graft =
+      authority.Sign(std::move(final_program));
+  if (!signed_graft.ok()) {
+    std::fprintf(stderr, "graftc: signing failed: %s\n",
+                 std::string(vino::StatusName(signed_graft.status())).c_str());
+    return 1;
+  }
+
+  const std::vector<uint8_t> bytes = vino::SerializeSignedGraft(*signed_graft);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out || !out.write(reinterpret_cast<const char*>(bytes.data()),
+                         static_cast<std::streamsize>(bytes.size()))) {
+    std::fprintf(stderr, "graftc: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "graftc: %s -> %s (%zu instructions, %zu bytes, sig %.16s...)\n",
+               in_path.c_str(), out_path.c_str(),
+               signed_graft->program.code.size(), bytes.size(),
+               vino::DigestHex(signed_graft->signature).c_str());
+  return 0;
+}
