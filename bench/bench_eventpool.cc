@@ -1,0 +1,182 @@
+// Event dispatch scalability: bounded worker pool vs. the paper-literal
+// "spawn a worker thread per event" model (§3.5), across handler counts
+// and concurrent dispatcher counts.
+//
+// The thread-spawn baseline creates one OS thread per event (each runs all
+// handlers, one transaction apiece — exactly what the seed implementation
+// of DispatchAsync did, minus the lost-event bug). The pool variant routes
+// the same workload through EventGraftPoint::DispatchAsync on a dedicated
+// bounded WorkerPool. Both deliver every event; the measure is wall-clock
+// dispatch throughput.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_kernel.h"
+#include "src/base/worker_pool.h"
+#include "src/graft/event_point.h"
+
+namespace vino {
+namespace bench {
+namespace {
+
+constexpr int kEventsPerDispatcher = 400;
+
+// A handler light enough that dispatch overhead dominates: one relaxed
+// atomic add plus a short arithmetic spin (~100 ops).
+std::shared_ptr<Graft> MakeHandler(const std::string& name,
+                                   std::atomic<uint64_t>* runs) {
+  auto graft = std::make_shared<Graft>(
+      name,
+      [runs](std::span<const uint64_t> args, MemoryImage*) -> Result<uint64_t> {
+        uint64_t x = args.empty() ? 1 : args[0] | 1;
+        for (int i = 0; i < 100; ++i) {
+          x = x * 6364136223846793005ull + 1442695040888963407ull;
+        }
+        runs->fetch_add(1, std::memory_order_relaxed);
+        return x;
+      },
+      kBenchRoot);
+  graft->account().SetLimit(ResourceType::kThreads, 1u << 20);
+  return graft;
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  double events_per_sec = 0;
+};
+
+RunResult Finish(std::chrono::steady_clock::time_point start, int dispatchers) {
+  const auto end = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  const double total =
+      static_cast<double>(dispatchers) * kEventsPerDispatcher;
+  return RunResult{ms, total / (ms / 1000.0)};
+}
+
+// Baseline: one OS thread per event, joined in bounded batches (a live cap
+// of 64, so the baseline is not penalised by thousands of live threads).
+RunResult RunThreadSpawn(EventGraftPoint& point, int dispatchers) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ds;
+  ds.reserve(static_cast<size_t>(dispatchers));
+  for (int d = 0; d < dispatchers; ++d) {
+    ds.emplace_back([&point] {
+      std::vector<std::thread> workers;
+      workers.reserve(64);
+      for (int e = 0; e < kEventsPerDispatcher; ++e) {
+        const uint64_t args[1] = {static_cast<uint64_t>(e)};
+        workers.emplace_back(
+            [&point, a = args[0]] {
+              const uint64_t inner[1] = {a};
+              point.Dispatch(inner);
+            });
+        if (workers.size() >= 64) {
+          for (auto& w : workers) {
+            w.join();
+          }
+          workers.clear();
+        }
+      }
+      for (auto& w : workers) {
+        w.join();
+      }
+    });
+  }
+  for (auto& t : ds) {
+    t.join();
+  }
+  return Finish(start, dispatchers);
+}
+
+RunResult RunPool(EventGraftPoint& point, int dispatchers) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> ds;
+  ds.reserve(static_cast<size_t>(dispatchers));
+  for (int d = 0; d < dispatchers; ++d) {
+    ds.emplace_back([&point] {
+      for (int e = 0; e < kEventsPerDispatcher; ++e) {
+        point.DispatchAsync({static_cast<uint64_t>(e)});
+      }
+    });
+  }
+  for (auto& t : ds) {
+    t.join();
+  }
+  point.Drain();
+  return Finish(start, dispatchers);
+}
+
+int Main() {
+  BenchKernel kernel;
+
+  std::printf(
+      "\n=== Event dispatch: bounded pool vs thread-per-event (§3.5) ===\n");
+  std::printf("events/dispatcher: %d; handler: ~100-op native fn\n\n",
+              kEventsPerDispatcher);
+  std::printf("%-12s %-9s %16s %16s %9s %8s\n", "dispatchers", "handlers",
+              "spawn(ev/s)", "pool(ev/s)", "speedup", "inline");
+
+  for (const int handlers : {1, 4}) {
+    for (const int dispatchers : {1, 2, 4, 8, 16}) {
+      const uint64_t expected =
+          static_cast<uint64_t>(dispatchers) * kEventsPerDispatcher *
+          static_cast<uint64_t>(handlers);
+
+      // Fresh point + counters per variant so stats are per-run.
+      std::atomic<uint64_t> spawn_runs{0};
+      EventGraftPoint spawn_point("bench.ev.spawn", EventGraftPoint::Config{},
+                                  &kernel.txn(), &kernel.host(), nullptr);
+      for (int h = 0; h < handlers; ++h) {
+        BenchKernel::Require(
+            IsOk(spawn_point.AddHandler(
+                MakeHandler("h" + std::to_string(h), &spawn_runs), h)),
+            "add handler");
+      }
+      const RunResult spawn = RunThreadSpawn(spawn_point, dispatchers);
+      BenchKernel::Require(spawn_runs.load() == expected, "spawn delivery");
+
+      WorkerPool::Config pool_config;
+      pool_config.queue_capacity = 1024;
+      WorkerPool pool(pool_config);
+      EventGraftPoint::Config point_config;
+      point_config.pool = &pool;
+      std::atomic<uint64_t> pool_runs{0};
+      EventGraftPoint pool_point("bench.ev.pool", point_config, &kernel.txn(),
+                                 &kernel.host(), nullptr);
+      for (int h = 0; h < handlers; ++h) {
+        BenchKernel::Require(
+            IsOk(pool_point.AddHandler(
+                MakeHandler("h" + std::to_string(h), &pool_runs), h)),
+            "add handler");
+      }
+      const RunResult pooled = RunPool(pool_point, dispatchers);
+      BenchKernel::Require(pool_runs.load() == expected, "pool delivery");
+
+      const auto stats = pool_point.stats();
+      std::printf("%-12d %-9d %16.0f %16.0f %8.2fx %8llu\n", dispatchers,
+                  handlers, spawn.events_per_sec, pooled.events_per_sec,
+                  pooled.events_per_sec / spawn.events_per_sec,
+                  static_cast<unsigned long long>(stats.async_inline_runs));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Every run asserts full delivery: runs == dispatchers x events x "
+      "handlers.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace vino
+
+int main() { return vino::bench::Main(); }

@@ -1,6 +1,8 @@
 #include "src/graft/event_point.h"
 
 #include <algorithm>
+#include <thread>
+#include <utility>
 
 #include "src/base/context.h"
 #include "src/base/log.h"
@@ -117,20 +119,31 @@ bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
   return false;
 }
 
+bool EventGraftPoint::RunAndCount(const std::shared_ptr<Graft>& graft,
+                                  std::span<const uint64_t> args) {
+  const bool ok = RunHandler(graft, args);
+  std::lock_guard<std::mutex> guard(stats_mutex_);
+  ++stats_.handler_runs;
+  if (!ok) {
+    ++stats_.handler_aborts;
+  }
+  return ok;
+}
+
 EventGraftPoint::DispatchOutcome EventGraftPoint::Dispatch(
     std::span<const uint64_t> args) {
   DispatchOutcome outcome;
+  {
+    std::lock_guard<std::mutex> guard(stats_mutex_);
+    ++stats_.events;
+  }
   const auto handlers = SnapshotHandlers();
   for (const auto& graft : handlers) {
     ++outcome.handlers_run;
-    if (!RunHandler(graft, args)) {
+    if (!RunAndCount(graft, args)) {
       ++outcome.handler_aborts;
     }
   }
-  std::lock_guard<std::mutex> guard(stats_mutex_);
-  ++stats_.events;
-  stats_.handler_runs += outcome.handlers_run;
-  stats_.handler_aborts += outcome.handler_aborts;
   return outcome;
 }
 
@@ -140,42 +153,61 @@ void EventGraftPoint::DispatchAsync(std::vector<uint64_t> args) {
     std::lock_guard<std::mutex> guard(stats_mutex_);
     ++stats_.events;
   }
+  // Handlers share one immutable copy of the event arguments.
+  const auto shared_args =
+      std::make_shared<const std::vector<uint64_t>>(std::move(args));
   for (const auto& graft : handlers) {
-    // The worker thread itself is a limited resource; bill the handler.
+    // kThreads is admission control on per-handler concurrency: one unit
+    // per in-flight pool task. A handler at its limit still receives the
+    // event — synchronously, on the dispatching thread. Never drop.
     if (!IsOk(graft->account().Charge(ResourceType::kThreads, 1))) {
+      RunAndCount(graft, *shared_args);
       std::lock_guard<std::mutex> guard(stats_mutex_);
-      ++stats_.handlers_skipped_no_thread;
+      ++stats_.async_inline_runs;
       continue;
     }
-    std::lock_guard<std::mutex> guard(mutex_);
-    workers_.emplace_back([this, graft, args] {
-      const bool ok = RunHandler(graft, args);
+    {
+      std::lock_guard<std::mutex> guard(drain_mutex_);
+      ++in_flight_;
+      peak_in_flight_ = std::max(peak_in_flight_, in_flight_);
+    }
+    // Registered in in_flight_ BEFORE submission: a Drain() that starts
+    // now already waits for this task. The pool may run the task inline on
+    // this very thread if saturated; the thread-id comparison below keeps
+    // the pool/inline stats honest either way.
+    const std::thread::id submitter = std::this_thread::get_id();
+    pool().Submit([this, graft, shared_args, submitter] {
+      RunAndCount(graft, *shared_args);
       graft->account().Uncharge(ResourceType::kThreads, 1);
-      std::lock_guard<std::mutex> stats_guard(stats_mutex_);
-      ++stats_.handler_runs;
-      if (!ok) {
-        ++stats_.handler_aborts;
+      {
+        std::lock_guard<std::mutex> guard(stats_mutex_);
+        if (std::this_thread::get_id() == submitter) {
+          ++stats_.async_inline_runs;
+        } else {
+          ++stats_.async_pool_runs;
+        }
+      }
+      std::lock_guard<std::mutex> guard(drain_mutex_);
+      if (--in_flight_ == 0) {
+        drained_.notify_all();
       }
     });
   }
 }
 
 void EventGraftPoint::Drain() {
-  std::vector<std::thread> workers;
-  {
-    std::lock_guard<std::mutex> guard(mutex_);
-    workers.swap(workers_);
-  }
-  for (std::thread& w : workers) {
-    if (w.joinable()) {
-      w.join();
-    }
-  }
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
 EventGraftPoint::Stats EventGraftPoint::stats() const {
   std::lock_guard<std::mutex> guard(stats_mutex_);
   return stats_;
+}
+
+uint64_t EventGraftPoint::peak_in_flight() const {
+  std::lock_guard<std::mutex> guard(drain_mutex_);
+  return peak_in_flight_;
 }
 
 }  // namespace vino

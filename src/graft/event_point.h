@@ -7,19 +7,50 @@
 // begins a transaction. It then invokes the grafted function... When the
 // grafted function returns, the worker thread commits the transaction."
 // Applications specify the order in which added handlers run.
+//
+// Worker-pool architecture. The paper's "spawns a worker thread" is a
+// *model*, not an implementation mandate: each async handler invocation
+// gets a thread of execution, a fresh transaction, and the handler's own
+// resource account. We realise the model on a shared bounded WorkerPool
+// (src/base/worker_pool.h) instead of one raw OS thread per handler per
+// event, which neither scales nor bounds kernel threads. DispatchAsync
+// submits one pool task per handler; the handler's kThreads account is
+// charged per in-flight task as admission control. When the charge fails
+// (the handler has hit its concurrency limit) or the pool itself is
+// saturated, delivery degrades to synchronous: the handler runs inline on
+// the dispatching thread. An event, once dispatched, is NEVER silently
+// dropped — the only way a handler misses an event is removal (its own
+// abort, Rule 8 forcible removal, or an explicit RemoveHandler).
+//
+// Lifecycle. Each point tracks its own in-flight async task count; Drain()
+// blocks until it reaches zero, and the destructor drains. A DispatchAsync
+// racing Drain() is safe: a task registered before Drain observes zero is
+// always waited for, and tasks never outlive the point because the
+// destructor drains again. (Callers must still not destroy a point while a
+// DispatchAsync call is executing — standard object lifetime rules.)
+//
+// Stats invariants (under no AddHandler/RemoveHandler churn and no handler
+// aborts, after Drain()):
+//   handler_runs == events × handlers
+//   async_pool_runs + async_inline_runs == async handler invocations
+//   handler_aborts ≤ handler_runs
+// `events` counts Dispatch/DispatchAsync calls at dispatch time (even if
+// there are currently no handlers); `handler_runs`/`handler_aborts` count
+// at handler completion, wherever the handler ran (sync, pool, or inline).
 
 #ifndef VINOLITE_SRC_GRAFT_EVENT_POINT_H_
 #define VINOLITE_SRC_GRAFT_EVENT_POINT_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "src/base/status.h"
+#include "src/base/worker_pool.h"
 #include "src/graft/graft.h"
 #include "src/sfi/host.h"
 #include "src/txn/txn_manager.h"
@@ -34,6 +65,9 @@ class EventGraftPoint {
     bool restricted = false;
     uint64_t fuel = 10'000'000;
     uint32_t poll_interval = 64;
+    // Pool carrying async dispatches; borrowed, must outlive the point.
+    // Null → the process-wide WorkerPool::Default().
+    WorkerPool* pool = nullptr;
   };
 
   EventGraftPoint(std::string name, Config config, TxnManager* txn_manager,
@@ -67,22 +101,30 @@ class EventGraftPoint {
   // abort never disturbs another (Rule 8).
   DispatchOutcome Dispatch(std::span<const uint64_t> args);
 
-  // Spawns a worker thread per event, as the paper describes. The worker is
-  // charged one kThreads unit against each handler's account (a handler
-  // whose account cannot afford a thread is skipped — resource limits apply
-  // to event grafts too). Workers are joined by Drain() or the destructor.
+  // Delivers the event asynchronously: one worker-pool task per handler,
+  // each charged one kThreads unit against the handler's account while in
+  // flight (admission control). A handler whose account cannot afford a
+  // worker — or whose pool is saturated — runs inline on the calling
+  // thread instead; the event is delivered either way. Outstanding tasks
+  // are awaited by Drain() or the destructor.
   void DispatchAsync(std::vector<uint64_t> args);
 
-  // Waits for all asynchronous workers to finish.
+  // Waits for all asynchronous handler invocations dispatched by this
+  // point to finish. Safe to call concurrently with DispatchAsync.
   void Drain();
 
   struct Stats {
-    uint64_t events = 0;
-    uint64_t handler_runs = 0;
-    uint64_t handler_aborts = 0;
-    uint64_t handlers_skipped_no_thread = 0;
+    uint64_t events = 0;             // Dispatch + DispatchAsync calls.
+    uint64_t handler_runs = 0;       // Handler invocations completed.
+    uint64_t handler_aborts = 0;     // ...of which aborted (subset of runs).
+    uint64_t async_pool_runs = 0;    // Async invocations run on pool workers.
+    uint64_t async_inline_runs = 0;  // Async invocations degraded inline
+                                     // (kThreads exhausted or pool saturated).
   };
   [[nodiscard]] Stats stats() const;
+
+  // Peak simultaneously in-flight async tasks from this point.
+  [[nodiscard]] uint64_t peak_in_flight() const;
 
  private:
   struct Handler {
@@ -95,7 +137,16 @@ class EventGraftPoint {
   bool RunHandler(const std::shared_ptr<Graft>& graft,
                   std::span<const uint64_t> args);
 
+  // RunHandler plus handler_runs/handler_aborts accounting — the single
+  // counting point for every delivery flavour. Returns RunHandler's result.
+  bool RunAndCount(const std::shared_ptr<Graft>& graft,
+                   std::span<const uint64_t> args);
+
   [[nodiscard]] std::vector<std::shared_ptr<Graft>> SnapshotHandlers() const;
+
+  [[nodiscard]] WorkerPool& pool() const {
+    return config_.pool != nullptr ? *config_.pool : WorkerPool::Default();
+  }
 
   const std::string name_;
   const Config config_;
@@ -103,8 +154,13 @@ class EventGraftPoint {
   const HostCallTable* host_;
 
   mutable std::mutex mutex_;
-  std::vector<Handler> handlers_;     // Sorted by order.
-  std::vector<std::thread> workers_;  // Outstanding async dispatches.
+  std::vector<Handler> handlers_;  // Sorted by order.
+
+  // Drain-safe async lifecycle: in-flight pool tasks from this point.
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drained_;
+  uint64_t in_flight_ = 0;
+  uint64_t peak_in_flight_ = 0;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

@@ -15,7 +15,8 @@ VinoKernel::VinoKernel(const VinoKernelConfig& config)
       cache_(config.cache_buffers, config.readahead_quota, &disk_, &clock_),
       fs_(&disk_, &cache_, &txn_, &host_, &ns_),
       mem_(config.memory_frames, &txn_, &host_, &ns_),
-      net_(&txn_, &host_, &ns_),
+      event_pool_(config.event_pool),
+      net_(&txn_, &host_, &ns_, &event_pool_),
       sched_(config.sched, &clock_, &txn_, &host_, &ns_) {}
 
 Result<std::shared_ptr<Graft>> VinoKernel::LoadGraftFromSource(

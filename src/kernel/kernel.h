@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "src/base/clock.h"
+#include "src/base/worker_pool.h"
 #include "src/fs/buffer_cache.h"
 #include "src/fs/disk.h"
 #include "src/fs/file_system.h"
@@ -49,6 +50,11 @@ struct VinoKernelConfig {
   Scheduler::Params sched;          // 10 ms timeslices.
   Micros watchdog_tick = 10'000;    // §4.5: 10 ms clock boundaries.
   bool start_watchdog = true;
+
+  // Shared pool carrying asynchronous event-graft dispatches (§3.5 worker
+  // threads, bounded). Defaults: hardware-sized workers, 256-deep queue,
+  // inline-on-saturation (events degrade to synchronous, never drop).
+  WorkerPool::Config event_pool;
 };
 
 class VinoKernel {
@@ -70,6 +76,7 @@ class VinoKernel {
   [[nodiscard]] FlatFileSystem& fs() { return fs_; }
   [[nodiscard]] MemorySystem& mem() { return mem_; }
   [[nodiscard]] NetStack& net() { return net_; }
+  [[nodiscard]] WorkerPool& event_pool() { return event_pool_; }
   [[nodiscard]] Scheduler& sched() { return sched_; }
   // Null when start_watchdog was false.
   [[nodiscard]] Watchdog* watchdog() { return watchdog_.get(); }
@@ -115,6 +122,9 @@ class VinoKernel {
   BufferCache cache_;
   FlatFileSystem fs_;
   MemorySystem mem_;
+  // Declared before net_: the net stack's event points drain into the pool
+  // on destruction, so the pool must be destroyed after them.
+  WorkerPool event_pool_;
   NetStack net_;
   Scheduler sched_;
 };

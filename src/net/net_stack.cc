@@ -6,8 +6,8 @@
 namespace vino {
 
 NetStack::NetStack(TxnManager* txn_manager, HostCallTable* host,
-                   GraftNamespace* ns)
-    : txn_manager_(txn_manager), host_(host), ns_(ns) {
+                   GraftNamespace* ns, WorkerPool* pool)
+    : txn_manager_(txn_manager), host_(host), ns_(ns), pool_(pool) {
   // net.recv: r0 = connection id, r1 = arena destination, r2 = max bytes.
   // Returns the number of bytes copied (0 at end of request).
   host->Register(
@@ -64,7 +64,10 @@ NetStack::NetStack(TxnManager* txn_manager, HostCallTable* host,
         }
         const size_t prior_size = conn->tx.size();
         conn->tx += bytes;
-        stats_.bytes_sent += bytes.size();
+        {
+          std::lock_guard<std::mutex> guard(mutex_);
+          stats_.bytes_sent += bytes.size();
+        }
         TxnOnAbort([conn, prior_size] { conn->tx.resize(prior_size); });
         return ctx.args[2];
       },
@@ -88,15 +91,24 @@ NetStack::NetStack(TxnManager* txn_manager, HostCallTable* host,
 }
 
 EventGraftPoint* NetStack::Listen(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
   const auto it = points_.find(name);
   if (it != points_.end()) {
     return it->second.get();
   }
-  auto point = std::make_unique<EventGraftPoint>(name, EventGraftPoint::Config{},
-                                                 txn_manager_, host_, ns_);
+  EventGraftPoint::Config config;
+  config.pool = pool_;
+  auto point = std::make_unique<EventGraftPoint>(name, config, txn_manager_,
+                                                 host_, ns_);
   EventGraftPoint* raw = point.get();
   points_.emplace(name, std::move(point));
   return raw;
+}
+
+EventGraftPoint* NetStack::FindPoint(const std::string& name) {
+  std::lock_guard<std::mutex> guard(mutex_);
+  const auto it = points_.find(name);
+  return it == points_.end() ? nullptr : it->second.get();
 }
 
 EventGraftPoint* NetStack::ListenTcp(uint16_t port) {
@@ -108,6 +120,7 @@ EventGraftPoint* NetStack::ListenUdp(uint16_t port) {
 }
 
 ConnectionId NetStack::NewConnection(uint16_t port, std::string payload) {
+  std::lock_guard<std::mutex> guard(mutex_);
   const ConnectionId id = next_conn_id_++;
   auto conn = std::make_unique<Connection>();
   conn->id = id;
@@ -119,32 +132,94 @@ ConnectionId NetStack::NewConnection(uint16_t port, std::string payload) {
 
 Result<ConnectionId> NetStack::DeliverConnection(uint16_t port,
                                                  std::string request) {
-  const auto it = points_.find("net.tcp." + std::to_string(port) + ".connection");
-  if (it == points_.end()) {
+  EventGraftPoint* point =
+      FindPoint("net.tcp." + std::to_string(port) + ".connection");
+  if (point == nullptr) {
     return Status::kNotFound;
   }
   const ConnectionId id = NewConnection(port, std::move(request));
-  ++stats_.connections;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.connections;
+  }
   const uint64_t args[1] = {id};
-  it->second->Dispatch(args);
+  point->Dispatch(args);
   return id;
 }
 
 Result<ConnectionId> NetStack::DeliverPacket(uint16_t port, std::string payload) {
-  const auto it = points_.find("net.udp." + std::to_string(port) + ".packet");
-  if (it == points_.end()) {
+  EventGraftPoint* point =
+      FindPoint("net.udp." + std::to_string(port) + ".packet");
+  if (point == nullptr) {
     return Status::kNotFound;
   }
   const ConnectionId id = NewConnection(port, std::move(payload));
-  ++stats_.packets;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.packets;
+  }
   const uint64_t args[1] = {id};
-  it->second->Dispatch(args);
+  point->Dispatch(args);
   return id;
 }
 
+Result<ConnectionId> NetStack::DeliverConnectionAsync(uint16_t port,
+                                                      std::string request) {
+  EventGraftPoint* point =
+      FindPoint("net.tcp." + std::to_string(port) + ".connection");
+  if (point == nullptr) {
+    return Status::kNotFound;
+  }
+  const ConnectionId id = NewConnection(port, std::move(request));
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.connections;
+  }
+  point->DispatchAsync({id});
+  return id;
+}
+
+Result<ConnectionId> NetStack::DeliverPacketAsync(uint16_t port,
+                                                  std::string payload) {
+  EventGraftPoint* point =
+      FindPoint("net.udp." + std::to_string(port) + ".packet");
+  if (point == nullptr) {
+    return Status::kNotFound;
+  }
+  const ConnectionId id = NewConnection(port, std::move(payload));
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    ++stats_.packets;
+  }
+  point->DispatchAsync({id});
+  return id;
+}
+
+void NetStack::DrainEvents() {
+  // Snapshot under the lock, drain outside it: draining blocks on handler
+  // completion, and handlers call back into the stack.
+  std::vector<EventGraftPoint*> points;
+  {
+    std::lock_guard<std::mutex> guard(mutex_);
+    points.reserve(points_.size());
+    for (const auto& [name, point] : points_) {
+      points.push_back(point.get());
+    }
+  }
+  for (EventGraftPoint* point : points) {
+    point->Drain();
+  }
+}
+
 Connection* NetStack::FindConnection(ConnectionId id) {
+  std::lock_guard<std::mutex> guard(mutex_);
   const auto it = connections_.find(id);
   return it == connections_.end() ? nullptr : it->second.get();
+}
+
+NetStack::Stats NetStack::stats() const {
+  std::lock_guard<std::mutex> guard(mutex_);
+  return stats_;
 }
 
 }  // namespace vino

@@ -2,9 +2,20 @@
 //
 // Models ports, connections, and datagrams. Listening on a port creates an
 // event graft point ("net.tcp.<port>.connection" / "net.udp.<port>.packet");
-// synthetic traffic is delivered through DeliverConnection / DeliverPacket,
-// which dispatch the event to all installed handlers — each in its own
-// transaction, as the paper's worker-thread model prescribes.
+// synthetic traffic is delivered through DeliverConnection / DeliverPacket
+// (synchronous: handlers have run when the call returns) or through
+// DeliverConnectionAsync / DeliverPacketAsync (handlers run on the shared
+// event worker pool — the paper's "spawn a worker thread per event" model,
+// bounded; see src/base/worker_pool.h). Either way each handler runs in its
+// own transaction. After async delivery, DrainEvents() (or draining the
+// individual point) waits for handlers to finish.
+//
+// Concurrency: the stack's connection table and stats are internally
+// locked, so async handlers may create/look up connections concurrently
+// with new deliveries. A single connection's byte streams are NOT locked —
+// the stack assumes one handler consumes a given connection (true for the
+// one-handler-per-port services the paper builds; multi-handler ports
+// should use sync delivery or disjoint connections).
 //
 // Grafts interact with connections through three graft-callable host
 // functions the stack registers:
@@ -20,9 +31,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "src/base/worker_pool.h"
 #include "src/graft/event_point.h"
 #include "src/graft/namespace.h"
 #include "src/sfi/host.h"
@@ -44,7 +57,10 @@ struct Connection {
 class NetStack {
  public:
   // Registers the net.* host functions into `host` at construction.
-  NetStack(TxnManager* txn_manager, HostCallTable* host, GraftNamespace* ns);
+  // `pool` (borrowed, may be null → process default) carries async event
+  // delivery for every point this stack creates.
+  NetStack(TxnManager* txn_manager, HostCallTable* host, GraftNamespace* ns,
+           WorkerPool* pool = nullptr);
 
   NetStack(const NetStack&) = delete;
   NetStack& operator=(const NetStack&) = delete;
@@ -64,6 +80,17 @@ class NetStack {
   // connection-like object.
   Result<ConnectionId> DeliverPacket(uint16_t port, std::string payload);
 
+  // Asynchronous variants: the event is dispatched onto the worker pool
+  // and the call returns immediately with the connection id. The response
+  // (Connection::tx) is complete only after DrainEvents() — or after
+  // draining the port's point.
+  Result<ConnectionId> DeliverConnectionAsync(uint16_t port,
+                                              std::string request);
+  Result<ConnectionId> DeliverPacketAsync(uint16_t port, std::string payload);
+
+  // Waits for every outstanding async event dispatched by this stack.
+  void DrainEvents();
+
   [[nodiscard]] Connection* FindConnection(ConnectionId id);
 
   struct Stats {
@@ -71,16 +98,21 @@ class NetStack {
     uint64_t packets = 0;
     uint64_t bytes_sent = 0;
   };
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const;
 
  private:
   EventGraftPoint* Listen(const std::string& name);
+  [[nodiscard]] EventGraftPoint* FindPoint(const std::string& name);
   ConnectionId NewConnection(uint16_t port, std::string payload);
 
   TxnManager* txn_manager_;
   const HostCallTable* host_;
   GraftNamespace* ns_;
+  WorkerPool* pool_;
 
+  // Guards points_, connections_, next_conn_id_, and stats_. Never held
+  // while dispatching (handlers call back into net.recv/net.send).
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::unique_ptr<EventGraftPoint>> points_;
   std::unordered_map<ConnectionId, std::unique_ptr<Connection>> connections_;
   ConnectionId next_conn_id_ = 1;

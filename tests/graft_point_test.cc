@@ -435,12 +435,17 @@ TEST_F(EventPointTest, AsyncWorkersChargeThreadResource) {
   point.Drain();
   const auto s = point.stats();
   EXPECT_EQ(s.handler_runs, 1u);
+  EXPECT_EQ(native->account().usage(ResourceType::kThreads), 0u);
 
-  // Zero-thread account: handler skipped, recorded as such.
+  // Zero-thread account: the handler cannot afford a pool worker, so the
+  // event degrades to synchronous delivery on the dispatching thread — it
+  // still runs (events are never dropped), recorded as an inline run.
   native->account().SetLimit(ResourceType::kThreads, 0);
   point.DispatchAsync({2});
   point.Drain();
-  EXPECT_EQ(point.stats().handlers_skipped_no_thread, 1u);
+  const auto s2 = point.stats();
+  EXPECT_EQ(s2.handler_runs, 2u);
+  EXPECT_EQ(s2.async_inline_runs, 1u);
 }
 
 TEST_F(EventPointTest, EventNamespaceLookup) {

@@ -26,10 +26,44 @@ TEST(KernelTest, ConfigurationRespected) {
   config.memory_frames = 64;
   config.cache_buffers = 16;
   config.start_watchdog = false;
+  config.event_pool.workers = 3;
+  config.event_pool.queue_capacity = 32;
   VinoKernel kernel(config);
   EXPECT_EQ(kernel.watchdog(), nullptr);
   EXPECT_EQ(kernel.mem().pool().frame_count(), 64u);
   EXPECT_EQ(kernel.cache().capacity(), 16u);
+  EXPECT_EQ(kernel.event_pool().worker_count(), 3u);
+  EXPECT_EQ(kernel.event_pool().queue_capacity(), 32u);
+}
+
+TEST(KernelTest, EventPoolCarriesNetTraffic) {
+  VinoKernelConfig config;
+  config.start_watchdog = false;
+  config.event_pool.workers = 2;
+  VinoKernel kernel(config);
+
+  EventGraftPoint* point = kernel.net().ListenUdp(9);
+  auto handler = std::make_shared<Graft>(
+      "tick",
+      [&kernel](std::span<const uint64_t> args, MemoryImage*) -> Result<uint64_t> {
+        Connection* c = kernel.net().FindConnection(args[0]);
+        if (c == nullptr) {
+          return Status::kNotFound;
+        }
+        c->tx = "ok";
+        return 0ull;
+      },
+      GraftIdentity{0, true});
+  handler->account().SetLimit(ResourceType::kThreads, 2);
+  ASSERT_EQ(point->AddHandler(handler, 1), Status::kOk);
+
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(kernel.net().DeliverPacketAsync(9, "x").ok());
+  }
+  kernel.net().DrainEvents();
+  EXPECT_EQ(point->stats().handler_runs, 8u);
+  // The kernel's own pool (not the process default) carried the traffic.
+  EXPECT_GT(kernel.event_pool().stats().submitted, 0u);
 }
 
 TEST(KernelTest, SourcePipelineProducesRunnableGraft) {

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/net/net_stack.h"
 #include "src/sfi/assembler.h"
 #include "src/sfi/misfit.h"
@@ -194,6 +197,77 @@ TEST_F(NetTest, MultipleHandlersEachOwnTransaction) {
   // the second handler aborted.
   EXPECT_EQ(stack_.FindConnection(*conn)->tx, "hi");
   EXPECT_EQ(point->handler_count(), 1u);
+}
+
+TEST_F(NetTest, AsyncDeliveryCompletesAfterDrain) {
+  EventGraftPoint* point = stack_.ListenTcp(8080);
+  auto handler = EchoHandler();
+  handler->account().SetLimit(ResourceType::kThreads, 4);
+  ASSERT_EQ(point->AddHandler(handler, 1), Status::kOk);
+
+  Result<ConnectionId> conn = stack_.DeliverConnectionAsync(8080, "async!");
+  ASSERT_TRUE(conn.ok());
+  stack_.DrainEvents();
+  Connection* c = stack_.FindConnection(*conn);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->tx, "async!");
+  EXPECT_FALSE(c->open);
+  EXPECT_EQ(stack_.stats().bytes_sent, 6u);
+}
+
+TEST_F(NetTest, AsyncTrafficFromManyDispatchersNoEventLost) {
+  // Route a burst of UDP traffic through the pool from several dispatcher
+  // threads; every packet must be answered after the drain. The handler is
+  // native and touches only its own connection, so concurrent invocations
+  // (pool workers + inline fallbacks) never share mutable state — a VM
+  // graft would share its one arena across workers.
+  EventGraftPoint* point = stack_.ListenUdp(5353);
+  auto handler = std::make_shared<Graft>(
+      "native-echo",
+      [this](std::span<const uint64_t> args, MemoryImage*) -> Result<uint64_t> {
+        Connection* c = stack_.FindConnection(args[0]);
+        if (c == nullptr) {
+          return Status::kNotFound;
+        }
+        c->tx = c->rx;
+        return 0ull;
+      },
+      GraftIdentity{0, true});
+  handler->account().SetLimit(ResourceType::kThreads, 8);
+  ASSERT_EQ(point->AddHandler(handler, 1), Status::kOk);
+
+  constexpr int kDispatchers = 4;
+  constexpr int kPerDispatcher = 25;
+  std::vector<std::vector<ConnectionId>> ids(kDispatchers);
+  std::vector<std::thread> dispatchers;
+  for (int d = 0; d < kDispatchers; ++d) {
+    dispatchers.emplace_back([this, d, &ids] {
+      for (int i = 0; i < kPerDispatcher; ++i) {
+        Result<ConnectionId> pkt = stack_.DeliverPacketAsync(5353, "ping");
+        EXPECT_TRUE(pkt.ok());
+        if (pkt.ok()) {
+          ids[static_cast<size_t>(d)].push_back(*pkt);
+        }
+      }
+    });
+  }
+  for (auto& t : dispatchers) {
+    t.join();
+  }
+  stack_.DrainEvents();
+
+  EXPECT_EQ(stack_.stats().packets,
+            static_cast<uint64_t>(kDispatchers) * kPerDispatcher);
+  for (const auto& per_thread : ids) {
+    for (const ConnectionId id : per_thread) {
+      Connection* c = stack_.FindConnection(id);
+      ASSERT_NE(c, nullptr);
+      EXPECT_EQ(c->tx, "ping") << "connection " << id;
+    }
+  }
+  const auto point_stats = point->stats();
+  EXPECT_EQ(point_stats.handler_runs,
+            static_cast<uint64_t>(kDispatchers) * kPerDispatcher);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/base/context.h"
 #include "src/fs/file_system.h"
@@ -258,7 +260,129 @@ TEST(EventStressTest, MixedSyncAsyncDispatch) {
   }
   t.join();
   point.Drain();
+  // Every dispatched event ran its handler — thread-limit pressure (limit
+  // 8, 10 async dispatches in flight) degrades to inline delivery, never a
+  // dropped event.
   EXPECT_EQ(runs.load(), 20u);
+  const auto stats = point.stats();
+  EXPECT_EQ(stats.events, 20u);
+  EXPECT_EQ(stats.handler_runs, 20u);
+}
+
+TEST(EventStressTest, ThreadLimitZeroStillDeliversInline) {
+  TxnManager txn;
+  HostCallTable host;
+  std::atomic<uint64_t> runs{0};
+  EventGraftPoint point("nothread.ev", EventGraftPoint::Config{}, &txn, &host,
+                        nullptr);
+  auto counter = std::make_shared<Graft>(
+      "counter",
+      [&runs](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+        runs.fetch_add(1);
+        return 0ull;
+      },
+      kRoot);
+  // No thread budget at all: every async dispatch must degrade to a
+  // synchronous inline run on the dispatching thread.
+  counter->account().SetLimit(ResourceType::kThreads, 0);
+  ASSERT_EQ(point.AddHandler(counter, 1), Status::kOk);
+
+  for (int i = 0; i < 16; ++i) {
+    point.DispatchAsync({static_cast<uint64_t>(i)});
+  }
+  point.Drain();
+  EXPECT_EQ(runs.load(), 16u);
+  const auto stats = point.stats();
+  EXPECT_EQ(stats.handler_runs, 16u);
+  EXPECT_EQ(stats.async_inline_runs, 16u);
+  EXPECT_EQ(stats.async_pool_runs, 0u);
+}
+
+TEST(EventStressTest, DrainRacesDispatchAsync) {
+  TxnManager txn;
+  HostCallTable host;
+  std::atomic<uint64_t> runs{0};
+  EventGraftPoint point("drainrace.ev", EventGraftPoint::Config{}, &txn, &host,
+                        nullptr);
+  auto counter = std::make_shared<Graft>(
+      "counter",
+      [&runs](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+        runs.fetch_add(1);
+        return 0ull;
+      },
+      kRoot);
+  counter->account().SetLimit(ResourceType::kThreads, 16);
+  ASSERT_EQ(point.AddHandler(counter, 1), Status::kOk);
+
+  constexpr int kDispatchers = 4;
+  constexpr int kPerDispatcher = 50;
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(kDispatchers);
+  for (int d = 0; d < kDispatchers; ++d) {
+    dispatchers.emplace_back([&point] {
+      for (int i = 0; i < kPerDispatcher; ++i) {
+        point.DispatchAsync({1});
+      }
+    });
+  }
+  // Drain concurrently with the dispatchers: every Drain call must return
+  // (no deadlock, no stranded in-flight count) even while new dispatches
+  // keep arriving.
+  std::thread drainer([&point] {
+    for (int i = 0; i < 20; ++i) {
+      point.Drain();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& t : dispatchers) {
+    t.join();
+  }
+  drainer.join();
+  point.Drain();
+  EXPECT_EQ(runs.load(), static_cast<uint64_t>(kDispatchers) * kPerDispatcher);
+  EXPECT_EQ(counter->account().usage(ResourceType::kThreads), 0u);
+}
+
+TEST(EventStressTest, StatsInvariantsUnderMixedDispatch) {
+  TxnManager txn;
+  HostCallTable host;
+  EventGraftPoint point("invariant.ev", EventGraftPoint::Config{}, &txn, &host,
+                        nullptr);
+  auto make_counter = [](const std::string& name) {
+    return std::make_shared<Graft>(
+        name,
+        [](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+          return 0ull;
+        },
+        kRoot);
+  };
+  auto a = make_counter("a");
+  auto b = make_counter("b");
+  a->account().SetLimit(ResourceType::kThreads, 4);
+  b->account().SetLimit(ResourceType::kThreads, 1);  // Mostly inline.
+  ASSERT_EQ(point.AddHandler(a, 1), Status::kOk);
+  ASSERT_EQ(point.AddHandler(b, 2), Status::kOk);
+
+  constexpr uint64_t kSync = 25;
+  constexpr uint64_t kAsync = 25;
+  for (uint64_t i = 0; i < kSync; ++i) {
+    point.Dispatch({});
+  }
+  for (uint64_t i = 0; i < kAsync; ++i) {
+    point.DispatchAsync({i});
+  }
+  point.Drain();
+
+  // Documented invariants (event_point.h): with a fixed handler set and no
+  // aborts, every event reaches every handler exactly once, and every
+  // async invocation is accounted as either a pool run or an inline run.
+  const auto stats = point.stats();
+  EXPECT_EQ(stats.events, kSync + kAsync);
+  EXPECT_EQ(stats.handler_runs, (kSync + kAsync) * 2);
+  EXPECT_EQ(stats.handler_aborts, 0u);
+  EXPECT_EQ(stats.async_pool_runs + stats.async_inline_runs, kAsync * 2);
+  EXPECT_EQ(a->account().usage(ResourceType::kThreads), 0u);
+  EXPECT_EQ(b->account().usage(ResourceType::kThreads), 0u);
 }
 
 // --- Watchdog cross-thread arming -----------------------------------------

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate, mechanically catching what code review misses:
+#   1. normal build + full ctest suite,
+#   2. flaky-dispatch guard: robustness_test repeated 20x until-fail (the
+#      mixed sync/async event case was an 18/20 flake before the worker
+#      pool; any regression shows up here),
+#   3. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
+#      races (Drain vs DispatchAsync, pool lifecycle, txn locks) fail CI
+#      instead of shipping.
+#
+# Usage: tools/check.sh [--fast]
+#   --fast  skip the sanitizer stage (normal build + tests + flake guard).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== [1/3] build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "== [2/3] flaky-dispatch guard: robustness_test x20 =="
+ctest --test-dir build -R robustness_test --repeat until-fail:20 \
+  --output-on-failure
+
+if [[ "$FAST" == "1" ]]; then
+  echo "== [3/3] skipped (--fast) =="
+  exit 0
+fi
+
+echo "== [3/3] ThreadSanitizer: concurrency-heavy tests =="
+cmake -B build-tsan -S . -DVINO_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS"
+# TSAN_OPTIONS: fail the test process on the first report; tools/tsan.supp
+# silences libstdc++ _Sp_atomic false positives (see that file).
+TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
+  ctest --test-dir build-tsan \
+  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test' \
+  --output-on-failure -j "$JOBS"
+
+echo "All checks passed."
