@@ -11,6 +11,7 @@
 
 #include <mutex>
 
+#include "bench/gbench_main.h"
 #include "src/txn/accessor.h"
 #include "src/txn/txn_lock.h"
 #include "src/txn/txn_manager.h"
@@ -160,4 +161,4 @@ BENCHMARK(BM_AbortWithLocks)->Arg(0)->Arg(1)->Arg(4)->Arg(16);
 }  // namespace
 }  // namespace vino
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return vino::RunGbenchMain(argc, argv); }

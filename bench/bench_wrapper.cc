@@ -14,6 +14,7 @@
 
 #include <memory>
 
+#include "bench/gbench_main.h"
 #include "src/base/log.h"
 #include "src/graft/function_point.h"
 #include "src/sfi/assembler.h"
@@ -172,4 +173,4 @@ BENCHMARK(BM_PollIntervalSweep)->Arg(1)->Arg(8)->Arg(64)->Arg(1024);
 }  // namespace
 }  // namespace vino
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return vino::RunGbenchMain(argc, argv); }

@@ -1,0 +1,53 @@
+// Shared main() for the google-benchmark micros with a stable CLI for
+// tooling: `--json[=FILE]` expands to the benchmark-library flags so
+// tools/bench_compare.py and the check.sh bench-smoke step don't have to
+// know google-benchmark's flag spelling.
+//
+//   bench_txn --json            # JSON report on stdout
+//   bench_txn --json=out.json   # JSON report to out.json (console on stdout)
+//
+// All other flags pass through unchanged (--benchmark_filter, ...).
+
+#ifndef VINOLITE_BENCH_GBENCH_MAIN_H_
+#define VINOLITE_BENCH_GBENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vino {
+
+inline int RunGbenchMain(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<size_t>(argc) + 2);
+  args.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      args.emplace_back("--benchmark_format=json");
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      args.emplace_back(std::string("--benchmark_out=") + (argv[i] + 7));
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  std::vector<char*> argv2;
+  argv2.reserve(args.size());
+  for (std::string& s : args) {
+    argv2.push_back(s.data());
+  }
+  int argc2 = static_cast<int>(argv2.size());
+  benchmark::Initialize(&argc2, argv2.data());
+  if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vino
+
+#endif  // VINOLITE_BENCH_GBENCH_MAIN_H_

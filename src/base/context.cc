@@ -32,6 +32,10 @@ KernelContext::KernelContext() : os_id(NextOsId()) {
 }
 
 KernelContext::~KernelContext() {
+  if (txn_slab_drop != nullptr) {
+    txn_slab_drop(txn_slab);
+    txn_slab = nullptr;
+  }
   std::lock_guard<std::mutex> guard(RegistryMutex());
   Registry().erase(os_id);
 }

@@ -51,6 +51,17 @@ struct KernelContext {
   // Posted by other threads via PostAbortRequest, consumed by this thread.
   std::atomic<int32_t> pending_abort{0};
 
+  // --- Per-thread Transaction slab (hot-path recycling) ----------------
+  // TxnManager::Begin/Commit/Abort recycle Transaction objects through this
+  // free list instead of new/delete, so a steady-state graft invocation
+  // allocates nothing. Only the owning thread touches these fields.
+  // base/ must not depend on txn/, so the list is an opaque head pointer
+  // plus a deleter the transaction layer installs on first push; the
+  // destructor uses it to free the chain at thread exit.
+  Transaction* txn_slab = nullptr;
+  uint32_t txn_slab_size = 0;
+  void (*txn_slab_drop)(Transaction* head) = nullptr;
+
   // The calling OS thread's context. Never null.
   static KernelContext& Current();
 

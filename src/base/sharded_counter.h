@@ -1,0 +1,78 @@
+// Contention-free statistics counters.
+//
+// A bank of plain shared atomics turns every hot-path stats bump into a
+// cache-line ping between cores: relaxed or not, `fetch_add` still needs the
+// line exclusive. ShardedCounters spreads each logical counter across
+// kStatShards cache-line-padded slots; a thread always touches the slot
+// picked by its kernel-context os id, so concurrent writers on different
+// threads almost never share a line. Reads (`stats()` paths) sum the slots —
+// they are O(shards), cheap, and monotonic per slot.
+//
+// The counters are *statistics*, not synchronization: increments are relaxed
+// and a concurrent Read() may observe a sum no single instant ever had (the
+// same guarantee the previous relaxed-atomic banks gave). Invariants such as
+// the PR-1 event-point stats contracts hold at quiescent points (after
+// Drain(), after joins), exactly as documented there.
+
+#ifndef VINOLITE_SRC_BASE_SHARDED_COUNTER_H_
+#define VINOLITE_SRC_BASE_SHARDED_COUNTER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/base/context.h"
+
+namespace vino {
+
+// Shard count: a power of two so slot selection is a mask. 16 shards ×
+// 64 bytes = 1 KiB per counter bank — paid once per graft point / manager,
+// not per counter, because one slot carries all of a bank's counters.
+inline constexpr size_t kStatShards = 16;
+
+namespace internal {
+// The calling thread's shard. os_id is assigned sequentially at thread birth,
+// so consecutive threads land on consecutive shards (round-robin, no hash
+// clustering). Cached per thread: one thread_local read per bump.
+inline size_t StatShard() {
+  thread_local const size_t shard =
+      static_cast<size_t>(KernelContext::Current().os_id) & (kStatShards - 1);
+  return shard;
+}
+}  // namespace internal
+
+// A bank of N logical counters sharded together: slot = one cache line
+// holding all N counters for the threads mapped to it. N ≤ 8 keeps a slot
+// within a single 64-byte line.
+template <size_t N>
+class ShardedCounters {
+  static_assert(N >= 1 && N <= 8, "one cache line holds at most 8 counters");
+
+ public:
+  ShardedCounters() = default;
+  ShardedCounters(const ShardedCounters&) = delete;
+  ShardedCounters& operator=(const ShardedCounters&) = delete;
+
+  void Add(size_t counter, uint64_t n = 1) {
+    slots_[internal::StatShard()].v[counter].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] uint64_t Read(size_t counter) const {
+    uint64_t sum = 0;
+    for (const Slot& slot : slots_) {
+      sum += slot.v[counter].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> v[N] = {};
+  };
+  Slot slots_[kStatShards];
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_SHARDED_COUNTER_H_

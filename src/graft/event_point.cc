@@ -6,8 +6,8 @@
 
 #include "src/base/context.h"
 #include "src/base/log.h"
+#include "src/graft/invocation.h"
 #include "src/graft/namespace.h"
-#include "src/sfi/vm.h"
 
 namespace vino {
 
@@ -72,47 +72,21 @@ std::vector<std::shared_ptr<Graft>> EventGraftPoint::SnapshotHandlers() const {
 
 bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
                                  std::span<const uint64_t> args) {
-  graft->CountInvocation();
+  // The shared safe-path wrapper (graft/invocation.h): txn + account swap +
+  // run + commit/abort. Event handlers take no validator and no per-point
+  // watchdog; their time bound is the fuel budget.
+  InvocationParams params;
+  params.fuel = config_.fuel;
+  params.poll_interval = config_.poll_interval;
 
-  TxnScope scope(*txn_manager_);
-  ScopedAccount account_swap(&graft->account());
-
-  Status failure = Status::kOk;
-  if (graft->is_native()) {
-    Result<uint64_t> r = graft->native_fn()(args, &graft->image());
-    if (!r.ok()) {
-      failure = r.status();
-    }
-    if (IsOk(failure) && TxnManager::AbortPending()) {
-      failure = scope.txn()->abort_reason();
-    }
-  } else {
-    RunOptions options;
-    options.fuel = config_.fuel;
-    options.poll_interval = config_.poll_interval;
-    options.abort_requested = [] { return TxnManager::AbortPending(); };
-    options.identity =
-        CallerIdentity{graft->owner().uid, graft->owner().privileged};
-    Vm vm(&graft->image(), host_);
-    const RunOutcome outcome = vm.Run(graft->program(), args, options);
-    if (!IsOk(outcome.status)) {
-      failure = outcome.status;
-    }
+  const InvocationOutcome outcome =
+      RunGraftInvocation(*txn_manager_, host_, graft, args, params);
+  if (IsOk(outcome.status)) {
+    return true;
   }
 
-  if (IsOk(failure)) {
-    const Status commit_status = scope.Commit();
-    if (IsOk(commit_status)) {
-      return true;
-    }
-    failure = commit_status;
-  } else {
-    scope.Abort(failure);
-  }
-
-  graft->CountAbort();
   VINO_LOG_INFO << "event point '" << name_ << "': handler '" << graft->name()
-                << "' aborted: " << StatusName(failure) << "; removed";
+                << "' aborted: " << StatusName(outcome.status) << "; removed";
   // Covert denial of service (§2.5): a handler that cannot complete is
   // removed so the event stream keeps flowing.
   RemoveHandler(graft->name());
@@ -122,10 +96,9 @@ bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
 bool EventGraftPoint::RunAndCount(const std::shared_ptr<Graft>& graft,
                                   std::span<const uint64_t> args) {
   const bool ok = RunHandler(graft, args);
-  std::lock_guard<std::mutex> guard(stats_mutex_);
-  ++stats_.handler_runs;
+  counters_.Add(kHandlerRuns);
   if (!ok) {
-    ++stats_.handler_aborts;
+    counters_.Add(kHandlerAborts);
   }
   return ok;
 }
@@ -133,10 +106,7 @@ bool EventGraftPoint::RunAndCount(const std::shared_ptr<Graft>& graft,
 EventGraftPoint::DispatchOutcome EventGraftPoint::Dispatch(
     std::span<const uint64_t> args) {
   DispatchOutcome outcome;
-  {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
-    ++stats_.events;
-  }
+  counters_.Add(kEvents);
   const auto handlers = SnapshotHandlers();
   for (const auto& graft : handlers) {
     ++outcome.handlers_run;
@@ -149,10 +119,7 @@ EventGraftPoint::DispatchOutcome EventGraftPoint::Dispatch(
 
 void EventGraftPoint::DispatchAsync(std::vector<uint64_t> args) {
   const auto handlers = SnapshotHandlers();
-  {
-    std::lock_guard<std::mutex> guard(stats_mutex_);
-    ++stats_.events;
-  }
+  counters_.Add(kEvents);
   // Handlers share one immutable copy of the event arguments.
   const auto shared_args =
       std::make_shared<const std::vector<uint64_t>>(std::move(args));
@@ -162,8 +129,7 @@ void EventGraftPoint::DispatchAsync(std::vector<uint64_t> args) {
     // event — synchronously, on the dispatching thread. Never drop.
     if (!IsOk(graft->account().Charge(ResourceType::kThreads, 1))) {
       RunAndCount(graft, *shared_args);
-      std::lock_guard<std::mutex> guard(stats_mutex_);
-      ++stats_.async_inline_runs;
+      counters_.Add(kAsyncInlineRuns);
       continue;
     }
     {
@@ -179,14 +145,8 @@ void EventGraftPoint::DispatchAsync(std::vector<uint64_t> args) {
     pool().Submit([this, graft, shared_args, submitter] {
       RunAndCount(graft, *shared_args);
       graft->account().Uncharge(ResourceType::kThreads, 1);
-      {
-        std::lock_guard<std::mutex> guard(stats_mutex_);
-        if (std::this_thread::get_id() == submitter) {
-          ++stats_.async_inline_runs;
-        } else {
-          ++stats_.async_pool_runs;
-        }
-      }
+      counters_.Add(std::this_thread::get_id() == submitter ? kAsyncInlineRuns
+                                                            : kAsyncPoolRuns);
       std::lock_guard<std::mutex> guard(drain_mutex_);
       if (--in_flight_ == 0) {
         drained_.notify_all();
@@ -201,8 +161,13 @@ void EventGraftPoint::Drain() {
 }
 
 EventGraftPoint::Stats EventGraftPoint::stats() const {
-  std::lock_guard<std::mutex> guard(stats_mutex_);
-  return stats_;
+  Stats s;
+  s.events = counters_.Read(kEvents);
+  s.handler_runs = counters_.Read(kHandlerRuns);
+  s.handler_aborts = counters_.Read(kHandlerAborts);
+  s.async_pool_runs = counters_.Read(kAsyncPoolRuns);
+  s.async_inline_runs = counters_.Read(kAsyncInlineRuns);
+  return s;
 }
 
 uint64_t EventGraftPoint::peak_in_flight() const {

@@ -49,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/sharded_counter.h"
 #include "src/base/status.h"
 #include "src/base/worker_pool.h"
 #include "src/graft/graft.h"
@@ -162,8 +163,19 @@ class EventGraftPoint {
   uint64_t in_flight_ = 0;
   uint64_t peak_in_flight_ = 0;
 
-  mutable std::mutex stats_mutex_;
-  Stats stats_;
+  // Statistics, sharded to keep concurrent dispatchers/pool workers off a
+  // shared mutex or cache line (the PR-1 invariants documented above are
+  // quiescent-point invariants and survive the sharding). The drain
+  // lifecycle state above intentionally stays mutex+condvar: it is
+  // synchronization, not statistics.
+  enum Counter : size_t {
+    kEvents,
+    kHandlerRuns,
+    kHandlerAborts,
+    kAsyncPoolRuns,
+    kAsyncInlineRuns,
+  };
+  ShardedCounters<5> counters_;
 };
 
 }  // namespace vino

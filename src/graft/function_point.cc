@@ -1,9 +1,8 @@
 #include "src/graft/function_point.h"
 
-#include <optional>
-
 #include "src/base/context.h"
 #include "src/base/log.h"
+#include "src/graft/invocation.h"
 #include "src/graft/namespace.h"
 
 namespace vino {
@@ -29,6 +28,8 @@ Status FunctionGraftPoint::Replace(std::shared_ptr<Graft> graft) {
   if (config_.restricted && !graft->owner().privileged) {
     return Status::kRestrictedPoint;
   }
+  // Install is cold; the default (seq_cst) CAS is fine and its release side
+  // is what Invoke()'s acquire load pairs with.
   std::shared_ptr<Graft> expected;
   if (!graft_.compare_exchange_strong(expected, std::move(graft))) {
     return Status::kBusy;
@@ -43,16 +44,19 @@ void FunctionGraftPoint::ForciblyRemove(const std::shared_ptr<Graft>& graft) {
   // Only remove the graft that misbehaved; a racing replacement survives.
   std::shared_ptr<Graft> expected = graft;
   if (graft_.compare_exchange_strong(expected, nullptr)) {
-    forcible_removals_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(kForcibleRemovals);
     VINO_LOG_WARN << "graft point '" << name_ << "': forcibly removed graft '"
                   << graft->name() << "'";
   }
 }
 
 uint64_t FunctionGraftPoint::Invoke(std::span<const uint64_t> args) {
-  invocations_.fetch_add(1, std::memory_order_relaxed);
+  counters_.Add(kInvocations);
 
-  std::shared_ptr<Graft> graft = graft_.load();
+  // Acquire, not seq_cst: we need the graft's initialization (program,
+  // image, account — published by Replace()'s release CAS) to be visible
+  // before we run it; no ordering against unrelated atomics is required.
+  std::shared_ptr<Graft> graft = graft_.load(std::memory_order_acquire);
   if (graft == nullptr) {
     // The VINO path: indirection plus (cheap) verification, no transaction.
     const uint64_t result = default_fn_(args);
@@ -68,82 +72,30 @@ uint64_t FunctionGraftPoint::Invoke(std::span<const uint64_t> args) {
 
 uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
                                       std::span<const uint64_t> args) {
-  graft_runs_.fetch_add(1, std::memory_order_relaxed);
-  graft->CountInvocation();
+  counters_.Add(kGraftRuns);
 
-  // The wrapper (paper §3.1): begin a transaction, swap in the graft's
-  // resource account, run, commit.
-  TxnScope scope(*txn_manager_);
-  ScopedAccount account_swap(&graft->account());
+  InvocationParams params;
+  params.fuel = config_.fuel;
+  params.poll_interval = config_.poll_interval;
+  params.watchdog = config_.watchdog;
+  params.wall_budget = config_.wall_budget;
+  params.validator = config_.validator ? &config_.validator : nullptr;
 
-  // Optional wall-clock budget: the watchdog posts an abort to this thread
-  // if the invocation outlives it.
-  std::optional<Watchdog::Scope> wall_budget;
-  if (config_.watchdog != nullptr && config_.wall_budget > 0) {
-    wall_budget.emplace(*config_.watchdog, config_.wall_budget);
-  }
+  const InvocationOutcome outcome =
+      RunGraftInvocation(*txn_manager_, host_, graft, args, params);
 
-  Status failure = Status::kOk;
-  uint64_t result = 0;
-
-  if (graft->is_native()) {
-    // Unsafe path: host C++ runs unprotected. It may still signal abort by
-    // returning a status.
-    Result<uint64_t> r = graft->native_fn()(args, &graft->image());
-    if (r.ok()) {
-      result = r.value();
-    } else {
-      failure = r.status();
-    }
-    // Native grafts cannot be preempted mid-run; honour any abort request
-    // that arrived while they executed.
-    if (IsOk(failure) && TxnManager::AbortPending()) {
-      failure = scope.txn()->abort_reason();
-    }
-  } else {
-    RunOptions options;
-    options.fuel = config_.fuel;
-    options.poll_interval = config_.poll_interval;
-    options.abort_requested = [] { return TxnManager::AbortPending(); };
-    options.identity =
-        CallerIdentity{graft->owner().uid, graft->owner().privileged};
-    Vm vm(&graft->image(), host_);
-    const RunOutcome outcome = vm.Run(graft->program(), args, options);
-    if (IsOk(outcome.status)) {
-      result = outcome.ret;
-    } else {
-      failure = outcome.status;
-    }
-  }
-
-  if (!IsOk(failure)) {
-    // Abort: replay undo, release locks, forcibly remove the graft, fall
-    // back to the default implementation (Rule 9: forward progress).
-    scope.Abort(failure);
-    graft->CountAbort();
-    graft_aborts_.fetch_add(1, std::memory_order_relaxed);
+  if (!IsOk(outcome.status)) {
+    // Aborted (undo replayed, locks released): forcibly remove the graft and
+    // fall back to the default implementation (Rule 9: forward progress).
+    counters_.Add(kGraftAborts);
     ForciblyRemove(graft);
     VINO_LOG_INFO << "graft point '" << name_ << "': graft '" << graft->name()
-                  << "' aborted: " << StatusName(failure);
+                  << "' aborted: " << StatusName(outcome.status);
     return default_fn_(args);
   }
 
-  // Results checking happens inside the transaction window, as in the
-  // paper's safe path.
-  const bool valid =
-      !config_.validator || config_.validator(result, args);
-
-  const Status commit_status = scope.Commit();
-  if (!IsOk(commit_status)) {
-    // An asynchronous abort (lock time-out) beat the commit.
-    graft->CountAbort();
-    graft_aborts_.fetch_add(1, std::memory_order_relaxed);
-    ForciblyRemove(graft);
-    return default_fn_(args);
-  }
-
-  if (!valid) {
-    bad_results_.fetch_add(1, std::memory_order_relaxed);
+  if (!outcome.result_valid) {
+    counters_.Add(kBadResults);
     const uint64_t strikes =
         bad_result_strikes_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (config_.max_bad_results != 0 && strikes >= config_.max_bad_results) {
@@ -151,16 +103,16 @@ uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
     }
     return default_fn_(args);
   }
-  return result;
+  return outcome.value;
 }
 
 FunctionGraftPoint::Stats FunctionGraftPoint::stats() const {
   Stats s;
-  s.invocations = invocations_.load(std::memory_order_relaxed);
-  s.graft_runs = graft_runs_.load(std::memory_order_relaxed);
-  s.graft_aborts = graft_aborts_.load(std::memory_order_relaxed);
-  s.bad_results = bad_results_.load(std::memory_order_relaxed);
-  s.forcible_removals = forcible_removals_.load(std::memory_order_relaxed);
+  s.invocations = counters_.Read(kInvocations);
+  s.graft_runs = counters_.Read(kGraftRuns);
+  s.graft_aborts = counters_.Read(kGraftAborts);
+  s.bad_results = counters_.Read(kBadResults);
+  s.forcible_removals = counters_.Read(kForcibleRemovals);
   return s;
 }
 

@@ -28,10 +28,10 @@
 #include <span>
 #include <string>
 
+#include "src/base/sharded_counter.h"
 #include "src/base/status.h"
 #include "src/graft/graft.h"
 #include "src/sfi/host.h"
-#include "src/sfi/vm.h"
 #include "src/txn/txn_manager.h"
 #include "src/txn/watchdog.h"
 
@@ -81,8 +81,13 @@ class FunctionGraftPoint {
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool restricted() const { return config_.restricted; }
-  [[nodiscard]] bool grafted() const { return graft_.load() != nullptr; }
-  [[nodiscard]] std::shared_ptr<Graft> current_graft() const { return graft_.load(); }
+  // Acquire pairs with Replace()'s release publication (see Invoke()).
+  [[nodiscard]] bool grafted() const {
+    return graft_.load(std::memory_order_acquire) != nullptr;
+  }
+  [[nodiscard]] std::shared_ptr<Graft> current_graft() const {
+    return graft_.load(std::memory_order_acquire);
+  }
 
   // Replaces the point's implementation. Fails with kRestrictedPoint if the
   // point is restricted and the graft's owner is unprivileged, kBusy if a
@@ -123,12 +128,21 @@ class FunctionGraftPoint {
 
   std::atomic<std::shared_ptr<Graft>> graft_;
 
-  std::atomic<uint64_t> invocations_{0};
-  std::atomic<uint64_t> graft_runs_{0};
-  std::atomic<uint64_t> graft_aborts_{0};
-  std::atomic<uint64_t> bad_results_{0};
+  // Hot-path statistics: cache-line-padded shards so concurrent invokers on
+  // different threads never contend on a stats line (see sharded_counter.h).
+  enum Counter : size_t {
+    kInvocations,
+    kGraftRuns,
+    kGraftAborts,
+    kBadResults,
+    kForcibleRemovals,
+  };
+  ShardedCounters<5> counters_;
+
+  // Strike counting stays a single atomic: it is only touched on the cold
+  // bad-result path and its value gates removal, so one authoritative
+  // fetch_add is simpler than summing shards.
   std::atomic<uint64_t> bad_result_strikes_{0};
-  std::atomic<uint64_t> forcible_removals_{0};
 };
 
 }  // namespace vino

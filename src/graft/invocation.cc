@@ -1,0 +1,3 @@
+// RunGraftInvocation is defined inline in the header (see the note there);
+// this TU exists so the build verifies invocation.h is self-contained.
+#include "src/graft/invocation.h"

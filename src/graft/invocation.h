@@ -1,0 +1,161 @@
+// The one graft invocation wrapper (paper §3.1, Figure 3).
+//
+// Function graft points and event graft points used to each carry their own
+// copy of the safe-path sequence — begin transaction, swap in the graft's
+// resource account, arm the watchdog, run the graft (native or Vm), check
+// the asynchronous abort flag, validate, commit or abort. Two copies of a
+// wrapper is two places for a fix (or an instrumentation hook) to miss one;
+// this header is the single shared implementation both point types call.
+//
+// Division of labour: RunGraftInvocation owns everything *inside* the
+// transaction window, including per-graft accounting (CountInvocation /
+// CountAbort). Point-level policy — fall back to the default function,
+// strike counting, forcible removal vs. handler removal, per-point stats —
+// stays with the caller, which knows what kind of point it is.
+//
+// Hot-path discipline: a steady-state invocation of this wrapper performs
+// zero heap allocations (recycled transaction, lean undo log, stack Vm,
+// small-buffer std::function for the poll callback); tests/alloc_test.cc
+// asserts it.
+
+#ifndef VINOLITE_SRC_GRAFT_INVOCATION_H_
+#define VINOLITE_SRC_GRAFT_INVOCATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "src/base/clock.h"
+#include "src/base/context.h"
+#include "src/base/status.h"
+#include "src/graft/graft.h"
+#include "src/sfi/host.h"
+#include "src/sfi/vm.h"
+#include "src/txn/txn_manager.h"
+#include "src/txn/watchdog.h"
+
+namespace vino {
+
+struct InvocationParams {
+  // Execution budget for program grafts.
+  uint64_t fuel = 10'000'000;
+  uint32_t poll_interval = 64;
+
+  // Optional wall-clock budget, enforced by a Watchdog (§4.5). Both fuel
+  // and wall budget may be set; whichever trips first aborts.
+  Watchdog* watchdog = nullptr;
+  Micros wall_budget = 0;  // 0 = no wall-clock bound.
+
+  // Optional borrowed result validator, run *inside* the transaction window
+  // (the paper's safe path checks results before commit). Null = accept
+  // any result. Borrowed to keep the hot path free of std::function copies.
+  const std::function<bool(uint64_t, std::span<const uint64_t>)>* validator =
+      nullptr;
+};
+
+struct InvocationOutcome {
+  // kOk = the graft ran to completion and its transaction committed.
+  // Anything else is the failure/abort reason; the transaction was aborted
+  // (undo replayed, locks released) before returning.
+  Status status = Status::kOk;
+
+  // The graft's return value; meaningful only when status == kOk.
+  uint64_t value = 0;
+
+  // The validator's verdict (true when no validator was supplied);
+  // meaningful only when status == kOk. An invalid result still commits —
+  // §4.2: the *result* is ignored, not the graft's transactional effects —
+  // and the caller decides about strikes and fallback.
+  bool result_valid = true;
+};
+
+// Runs `graft` through the full safe-path wrapper: begin txn → account swap
+// → watchdog → run (native or Vm) → validate → commit/abort. Never throws;
+// never leaves a transaction or a swapped account behind.
+//
+// Defined inline: this is the one call a graft-point makes per invocation,
+// and keeping it inlinable lets the callers' Invoke() keep the recycled
+// begin/commit on the same few cache lines (measurably faster than the
+// out-of-line version on the null-graft micro).
+inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
+                                            const HostCallTable* host,
+                                            const std::shared_ptr<Graft>& graft,
+                                            std::span<const uint64_t> args,
+                                            const InvocationParams& params) {
+  graft->CountInvocation();
+
+  // The wrapper (paper §3.1): begin a transaction, swap in the graft's
+  // resource account, run, commit.
+  TxnScope scope(txn_manager);
+  ScopedAccount account_swap(&graft->account());
+
+  // Optional wall-clock budget: the watchdog posts an abort to this thread
+  // if the invocation outlives it.
+  std::optional<Watchdog::Scope> wall_budget;
+  if (params.watchdog != nullptr && params.wall_budget > 0) {
+    wall_budget.emplace(*params.watchdog, params.wall_budget);
+  }
+
+  InvocationOutcome outcome;
+  Status failure = Status::kOk;
+
+  if (graft->is_native()) {
+    // Unsafe path: host C++ runs unprotected. It may still signal abort by
+    // returning a status.
+    Result<uint64_t> r = graft->native_fn()(args, &graft->image());
+    if (r.ok()) {
+      outcome.value = r.value();
+    } else {
+      failure = r.status();
+    }
+    // Native grafts cannot be preempted mid-run; honour any abort request
+    // that arrived while they executed.
+    if (IsOk(failure) && TxnManager::AbortPending()) {
+      failure = scope.txn()->abort_reason();
+    }
+  } else {
+    RunOptions options;
+    options.fuel = params.fuel;
+    options.poll_interval = params.poll_interval;
+    options.abort_requested = [] { return TxnManager::AbortPending(); };
+    options.identity =
+        CallerIdentity{graft->owner().uid, graft->owner().privileged};
+    Vm vm(&graft->image(), host);
+    const RunOutcome run = vm.Run(graft->program(), args, options);
+    if (IsOk(run.status)) {
+      outcome.value = run.ret;
+    } else {
+      failure = run.status;
+    }
+  }
+
+  if (!IsOk(failure)) {
+    // Abort: replay undo, release locks. The caller applies its removal
+    // policy (forcible removal / handler removal) and falls back.
+    scope.Abort(failure);
+    graft->CountAbort();
+    outcome.status = failure;
+    return outcome;
+  }
+
+  // Results checking happens inside the transaction window, as in the
+  // paper's safe path.
+  outcome.result_valid =
+      params.validator == nullptr || !*params.validator ||
+      (*params.validator)(outcome.value, args);
+
+  const Status commit_status = scope.Commit();
+  if (!IsOk(commit_status)) {
+    // An asynchronous abort (lock time-out) beat the commit; Commit already
+    // performed the abort.
+    graft->CountAbort();
+    outcome.status = commit_status;
+  }
+  return outcome;
+}
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_GRAFT_INVOCATION_H_

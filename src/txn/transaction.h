@@ -80,6 +80,27 @@ class Transaction {
   Transaction(uint64_t id, Transaction* parent)
       : id_(id), parent_(parent), depth_(parent == nullptr ? 0 : parent->depth_ + 1) {}
 
+  // Returns the object to pristine just-constructed state (under the new id
+  // and parent) while keeping the undo/locks/deferred vectors' capacity —
+  // the point of recycling. Called by TxnManager when handing a slab object
+  // back out from Begin(), and with (0, nullptr) when parking it, so a
+  // parked transaction never pins closures, locks, or deferred actions.
+  void Reset(uint64_t id, Transaction* parent) {
+    id_ = id;
+    parent_ = parent;
+    depth_ = parent == nullptr ? 0 : parent->depth_ + 1;
+    state_ = TxnState::kActive;
+    undo_.Clear();
+    locks_.clear();
+    commit_actions_.clear();
+    // Relaxed is enough: a transaction is reset by its owning thread before
+    // it is observable to anyone; cross-thread abort delivery goes through
+    // KernelContext::pending_abort, never through stale Transaction*.
+    abort_requested_.store(false, std::memory_order_relaxed);
+    abort_reason_.store(static_cast<int32_t>(Status::kTxnAborted),
+                        std::memory_order_relaxed);
+  }
+
   // Commit/abort bodies live in TxnManager, which owns lifetime and the
   // thread-context bookkeeping.
   uint64_t id_;
@@ -92,6 +113,11 @@ class Transaction {
 
   std::atomic<bool> abort_requested_{false};
   std::atomic<int32_t> abort_reason_{static_cast<int32_t>(Status::kTxnAborted)};
+
+  // Intrusive link for KernelContext::txn_slab (the per-thread free list of
+  // recycled transactions). Only TxnManager touches it, only while the
+  // object is parked.
+  Transaction* slab_next_ = nullptr;
 };
 
 }  // namespace vino

@@ -6,6 +6,47 @@
 #include "src/txn/txn_lock.h"
 
 namespace vino {
+namespace {
+
+// Slab depth bound: deeper nesting than this falls back to new/delete. The
+// cap exists only so a burst of deep nesting cannot park an unbounded pile
+// of warmed vectors on every thread forever.
+constexpr uint32_t kMaxSlabSize = 32;
+
+}  // namespace
+
+Transaction* TxnManager::SlabPop(KernelContext& ctx) {
+  Transaction* txn = ctx.txn_slab;
+  if (txn != nullptr) {
+    ctx.txn_slab = txn->slab_next_;
+    txn->slab_next_ = nullptr;
+    --ctx.txn_slab_size;
+  }
+  return txn;
+}
+
+void TxnManager::SlabPush(KernelContext& ctx, Transaction* txn) {
+  if (ctx.txn_slab_size >= kMaxSlabSize) {
+    delete txn;
+    return;
+  }
+  // Scrub before parking, not just before reuse: a parked transaction must
+  // not keep closures (deferred deletes, undo captures) or lock pointers
+  // alive across an unbounded idle period.
+  txn->Reset(0, nullptr);
+  txn->slab_next_ = ctx.txn_slab;
+  ctx.txn_slab = txn;
+  ++ctx.txn_slab_size;
+  ctx.txn_slab_drop = &TxnManager::SlabDrop;
+}
+
+void TxnManager::SlabDrop(Transaction* head) {
+  while (head != nullptr) {
+    Transaction* next = head->slab_next_;
+    delete head;
+    head = next;
+  }
+}
 
 Transaction* TxnManager::Begin() {
   KernelContext& ctx = KernelContext::Current();
@@ -15,12 +56,17 @@ Transaction* TxnManager::Begin() {
     // when the previous transaction ended.
     ctx.pending_abort.store(0, std::memory_order_release);
   } else {
-    nested_begins_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(kNestedBegins);
   }
-  auto* txn =
-      new Transaction(next_id_.fetch_add(1, std::memory_order_relaxed), ctx.txn);
+  const uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  Transaction* txn = SlabPop(ctx);
+  if (txn != nullptr) {
+    txn->Reset(id, ctx.txn);
+  } else {
+    txn = new Transaction(id, ctx.txn);
+  }
   ctx.txn = txn;
-  begins_.fetch_add(1, std::memory_order_relaxed);
+  counters_.Add(kBegins);
   return txn;
 }
 
@@ -69,8 +115,8 @@ Status TxnManager::Commit(Transaction* txn) {
 
   txn->state_ = TxnState::kCommitted;
   ctx.txn = parent;
-  commits_.fetch_add(1, std::memory_order_relaxed);
-  delete txn;
+  counters_.Add(kCommits);
+  SlabPush(ctx, txn);
   return Status::kOk;
 }
 
@@ -93,11 +139,11 @@ void TxnManager::Abort(Transaction* txn, Status reason) {
   // will time out again and re-post — the chain unwinds one level at a time.
   ctx.pending_abort.store(0, std::memory_order_release);
 
-  aborts_.fetch_add(1, std::memory_order_relaxed);
+  counters_.Add(kAborts);
   if (reason == Status::kTxnTimedOut) {
-    timeout_aborts_.fetch_add(1, std::memory_order_relaxed);
+    counters_.Add(kTimeoutAborts);
   }
-  delete txn;
+  SlabPush(ctx, txn);
 }
 
 void TxnManager::ReleaseLocks(Transaction* txn) {
@@ -129,11 +175,11 @@ bool TxnManager::AbortPending() {
 
 TxnStats TxnManager::stats() const {
   TxnStats s;
-  s.begins = begins_.load(std::memory_order_relaxed);
-  s.commits = commits_.load(std::memory_order_relaxed);
-  s.aborts = aborts_.load(std::memory_order_relaxed);
-  s.timeout_aborts = timeout_aborts_.load(std::memory_order_relaxed);
-  s.nested_begins = nested_begins_.load(std::memory_order_relaxed);
+  s.begins = counters_.Read(kBegins);
+  s.commits = counters_.Read(kCommits);
+  s.aborts = counters_.Read(kAborts);
+  s.timeout_aborts = counters_.Read(kTimeoutAborts);
+  s.nested_begins = counters_.Read(kNestedBegins);
   return s;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/base/context.h"
+#include "src/base/sharded_counter.h"
 #include "src/base/status.h"
 #include "src/txn/transaction.h"
 
@@ -67,12 +68,24 @@ class TxnManager {
  private:
   void ReleaseLocks(Transaction* txn);
 
+  // --- Transaction recycling (KernelContext::txn_slab) -----------------
+  // Finished transactions park on a per-thread free list instead of being
+  // deleted; Begin() pops from it. A recycled object keeps its vectors'
+  // capacity, so steady-state begin/commit performs zero heap allocations.
+  static Transaction* SlabPop(KernelContext& ctx);
+  static void SlabPush(KernelContext& ctx, Transaction* txn);
+  static void SlabDrop(Transaction* head);  // KernelContext's exit deleter.
+
   std::atomic<uint64_t> next_id_{1};
-  std::atomic<uint64_t> begins_{0};
-  std::atomic<uint64_t> commits_{0};
-  std::atomic<uint64_t> aborts_{0};
-  std::atomic<uint64_t> timeout_aborts_{0};
-  std::atomic<uint64_t> nested_begins_{0};
+
+  enum Counter : size_t {
+    kBegins,
+    kCommits,
+    kAborts,
+    kTimeoutAborts,
+    kNestedBegins,
+  };
+  ShardedCounters<5> counters_;
 };
 
 // RAII wrapper for kernel code paths that bracket work in a transaction.

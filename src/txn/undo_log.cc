@@ -4,23 +4,40 @@ namespace vino {
 
 void UndoLog::ReplayAndClear() {
   // LIFO: the most recent modification is undone first, so earlier undos see
-  // the state they recorded against.
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+  // the state they recorded against. The record vector carries the global
+  // sequence; closure entries dereference the side store by index.
+  for (auto it = records_.rbegin(); it != records_.rend(); ++it) {
     if (it->fn != nullptr) {
       it->fn(it->args[0], it->args[1], it->args[2], it->args[3]);
-    } else if (it->closure) {
-      it->closure();
+    } else {
+      std::function<void()>& closure = closures_[it->args[0]];
+      if (closure) {
+        closure();
+      }
     }
   }
-  entries_.clear();
+  Clear();
 }
 
 void UndoLog::MergeInto(UndoLog& parent) {
-  parent.entries_.reserve(parent.entries_.size() + entries_.size());
-  for (Entry& e : entries_) {
-    parent.entries_.push_back(std::move(e));
+  parent.records_.reserve(parent.records_.size() + records_.size());
+  for (const Record& r : records_) {
+    Record rebased = r;
+    if (rebased.fn == nullptr) {
+      // Closure indices shift by however many closures the parent already
+      // holds; the records keep their relative order, which is all LIFO
+      // replay needs.
+      rebased.args[0] += parent.closures_.size();
+    }
+    parent.records_.push_back(rebased);
   }
-  entries_.clear();
+  // Bulk-append after rebasing: every rebased index lands past the
+  // parent's pre-merge closure count in one go.
+  parent.closures_.reserve(parent.closures_.size() + closures_.size());
+  for (std::function<void()>& c : closures_) {
+    parent.closures_.push_back(std::move(c));
+  }
+  Clear();
 }
 
 }  // namespace vino

@@ -6,17 +6,22 @@
 //  transaction aborts, the transaction manager invokes each undo operation
 //  on the undo call stack."
 //
-// Entries are fixed-payload records (a function pointer plus four inline
-// words) so the hot path never allocates per entry; rare complex undos use
-// the closure escape hatch. Replay is LIFO. The log is transient — there is
-// no redo, no durability (paper: of ACID "we need only provide the first
-// three").
+// Storage is split for the hot path: the main store is a vector of flat POD
+// records (a function pointer plus four inline words — no std::function, no
+// destructor), and rare captured-state undos live in a side vector of
+// closures referenced by index from a record. Pushing an inline record is a
+// 40-byte trivially-copyable append; a recycled transaction's vectors keep
+// their capacity, so steady-state pushes never allocate. Replay is LIFO
+// across both stores (the record vector carries the global sequence). The
+// log is transient — there is no redo, no durability (paper: of ACID "we
+// need only provide the first three").
 
 #ifndef VINOLITE_SRC_TXN_UNDO_LOG_H_
 #define VINOLITE_SRC_TXN_UNDO_LOG_H_
 
 #include <cstdint>
 #include <functional>
+#include <type_traits>
 #include <vector>
 
 namespace vino {
@@ -31,15 +36,20 @@ class UndoLog {
   UndoLog(UndoLog&&) = default;
   UndoLog& operator=(UndoLog&&) = default;
 
-  // Pushes an allocation-free undo record.
+  // Pushes an allocation-free undo record (no allocation once the record
+  // vector has warmed past kInitialCapacity).
   void Push(InlineFn fn, uint64_t a = 0, uint64_t b = 0, uint64_t c = 0,
             uint64_t d = 0) {
-    entries_.push_back(Entry{fn, {a, b, c, d}, {}});
+    MaybeReserve();
+    records_.push_back(Record{fn, {a, b, c, d}});
   }
 
-  // Escape hatch for undos that need captured state.
+  // Escape hatch for undos that need captured state. The record slot keeps
+  // the closure's side-vector index so replay/merge preserve sequence.
   void PushClosure(std::function<void()> closure) {
-    entries_.push_back(Entry{nullptr, {}, std::move(closure)});
+    MaybeReserve();
+    records_.push_back(Record{nullptr, {closures_.size(), 0, 0, 0}});
+    closures_.push_back(std::move(closure));
   }
 
   // Convenience: restore a trivially-copyable 64-bit slot to its prior value.
@@ -54,23 +64,44 @@ class UndoLog {
   // log: a nested commit merges its undo stack with its parent's (§3.1).
   void MergeInto(UndoLog& parent);
 
-  void Clear() { entries_.clear(); }
-  [[nodiscard]] size_t size() const { return entries_.size(); }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void Clear() {
+    records_.clear();
+    closures_.clear();
+  }
+  [[nodiscard]] size_t size() const { return records_.size(); }
+  [[nodiscard]] bool empty() const { return records_.empty(); }
+  [[nodiscard]] size_t closure_count() const { return closures_.size(); }
 
  private:
-  struct Entry {
+  // Flat POD record. fn == nullptr marks a closure entry whose side-vector
+  // index rides in args[0].
+  struct Record {
     InlineFn fn;
     uint64_t args[4];
-    std::function<void()> closure;
   };
+  // The layout contract the hot path depends on: if someone re-grows the
+  // record (say, by sneaking a std::function back in), fail the build.
+  static_assert(sizeof(Record) <= 48, "undo record must stay lean");
+  static_assert(std::is_trivially_copyable_v<Record>,
+                "undo record must not own resources");
+
+  // First push on a cold log reserves a small block so the common
+  // few-records transaction grows the vector exactly once; recycled
+  // transactions keep the capacity and never come back here.
+  static constexpr size_t kInitialCapacity = 16;
+  void MaybeReserve() {
+    if (records_.capacity() == 0) {
+      records_.reserve(kInitialCapacity);
+    }
+  }
 
   static void RestoreU64Thunk(uint64_t slot, uint64_t old_value, uint64_t,
                               uint64_t) {
     *reinterpret_cast<uint64_t*>(slot) = old_value;
   }
 
-  std::vector<Entry> entries_;
+  std::vector<Record> records_;
+  std::vector<std::function<void()>> closures_;
 };
 
 }  // namespace vino

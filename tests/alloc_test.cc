@@ -1,0 +1,155 @@
+// Hot-path memory discipline: the steady-state safe path performs ZERO heap
+// allocations. Guards the PR-2 invocation-path work (transaction recycling,
+// lean undo log, unified wrapper) against regression by counting every
+// global operator new between two markers.
+//
+// The hook lives in this dedicated test binary so the count is meaningful:
+// within a measured window the only running code is the path under test.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+
+#include "src/base/log.h"
+#include "src/graft/function_point.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/txn/accessor.h"
+#include "src/txn/txn_manager.h"
+
+namespace {
+
+std::atomic<uint64_t> g_news{0};
+
+}  // namespace
+
+// Replacement global allocation functions: count, then defer to malloc/free.
+// (Sized/aligned/nothrow variants funnel here in libstdc++; counting the two
+// base news is enough for a regression tripwire.)
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kRoot{0, true};
+
+uint64_t AllocCount() { return g_news.load(std::memory_order_relaxed); }
+
+class AllocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::Instance().SetMinLevel(LogLevel::kError);
+    // Touch the thread context (registry insert allocates once per thread).
+    (void)KernelContext::Current();
+  }
+  TxnManager txn_;
+  HostCallTable host_;
+};
+
+TEST_F(AllocTest, SteadyStateBeginCommitIsAllocationFree) {
+  // Warm: first Begin news the Transaction; Commit parks it on the slab.
+  for (int i = 0; i < 8; ++i) {
+    Transaction* txn = txn_.Begin();
+    ASSERT_EQ(txn_.Commit(txn), Status::kOk);
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    Transaction* txn = txn_.Begin();
+    ASSERT_EQ(txn_.Commit(txn), Status::kOk);
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+}
+
+TEST_F(AllocTest, SteadyStateAbortWithInlineUndoIsAllocationFree) {
+  uint64_t slot = 0;
+  // Warm: the first transaction allocates the object and its undo capacity.
+  for (int i = 0; i < 8; ++i) {
+    Transaction* txn = txn_.Begin();
+    TxnSet(&slot, uint64_t{1});
+    txn_.Abort(txn, Status::kTxnAborted);
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    Transaction* txn = txn_.Begin();
+    TxnSet(&slot, uint64_t{1});  // Inline undo record: flat POD append.
+    TxnSet(&slot, uint64_t{2});
+    txn_.Abort(txn, Status::kTxnAborted);
+    ASSERT_EQ(slot, 0u);
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+}
+
+TEST_F(AllocTest, SteadyStateNullNativeGraftSafePathIsAllocationFree) {
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 7; },
+      FunctionGraftPoint::Config{}, &txn_, &host_, nullptr);
+  ASSERT_EQ(point.Replace(std::make_shared<Graft>(
+                "null-native",
+                [](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+                  return 0ull;
+                },
+                kRoot)),
+            Status::kOk);
+  for (int i = 0; i < 8; ++i) {
+    (void)point.Invoke({});  // Warm slab + stats shard.
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    (void)point.Invoke({});
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+  EXPECT_TRUE(point.grafted()) << "graft must not have been removed";
+}
+
+TEST_F(AllocTest, SteadyStateNullProgramGraftSafePathIsAllocationFree) {
+  // The full safe path: transaction, account swap, Vm entry/exit, abort
+  // polling, result validation, commit — still zero allocations.
+  FunctionGraftPoint::Config config;
+  config.validator = [](uint64_t result, std::span<const uint64_t>) {
+    return result == 0;
+  };
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; }, config,
+      &txn_, &host_, nullptr);
+  Asm a("null");
+  a.Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  ASSERT_TRUE(inst.ok());
+  ASSERT_EQ(point.Replace(std::make_shared<Graft>("null", *inst, kRoot, 4096)),
+            Status::kOk);
+  for (int i = 0; i < 8; ++i) {
+    (void)point.Invoke({});
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    (void)point.Invoke({});
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+  EXPECT_TRUE(point.grafted()) << "graft must not have been removed";
+}
+
+}  // namespace
+}  // namespace vino

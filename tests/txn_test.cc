@@ -1,14 +1,18 @@
 // Transaction system tests: undo log replay, nesting, commit/abort
-// semantics, accessor helpers, and async abort requests.
+// semantics, accessor helpers, async abort requests, and the recycling
+// slab's no-leak-across-reuse property.
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/base/context.h"
+#include "src/base/rng.h"
 #include "src/txn/accessor.h"
 #include "src/txn/transaction.h"
+#include "src/txn/txn_lock.h"
 #include "src/txn/txn_manager.h"
 #include "src/txn/undo_log.h"
 
@@ -290,6 +294,113 @@ TEST_F(TxnTest, FirstAbortReasonWins) {
   txn->RequestAbort(Status::kTxnTimedOut);
   EXPECT_EQ(txn->abort_reason(), Status::kTxnLimitExceeded);
   manager_.Abort(txn, txn->abort_reason());
+}
+
+// --- Transaction recycling (the per-thread slab) -----------------------
+
+TEST_F(TxnTest, BeginRecyclesTheLastFinishedTransaction) {
+  Transaction* first = manager_.Begin();
+  const uint64_t first_id = first->id();
+  ASSERT_EQ(manager_.Commit(first), Status::kOk);
+  // The slab is thread-local LIFO, so the very next Begin must hand back
+  // the same object — that pointer identity IS the recycling.
+  Transaction* second = manager_.Begin();
+  EXPECT_EQ(second, first);
+  EXPECT_NE(second->id(), first_id);  // ...under a fresh id.
+  ASSERT_EQ(manager_.Commit(second), Status::kOk);
+}
+
+// Asserts every field a graft could observe is in just-constructed state.
+void ExpectPristine(Transaction* txn) {
+  EXPECT_EQ(txn->parent(), nullptr);
+  EXPECT_EQ(txn->depth(), 0);
+  EXPECT_EQ(txn->state(), TxnState::kActive);
+  EXPECT_TRUE(txn->undo().empty());
+  EXPECT_EQ(txn->undo().closure_count(), 0u);
+  EXPECT_EQ(txn->lock_count(), 0u);
+  EXPECT_EQ(txn->deferred_count(), 0u);
+  EXPECT_FALSE(txn->abort_requested());
+  EXPECT_EQ(txn->abort_reason(), Status::kTxnAborted);  // The default.
+}
+
+TEST_F(TxnTest, RecycledTransactionLeaksNothingAcrossReuse) {
+  // Property test: run randomized commit/abort/nested-merge cycles that
+  // dirty every piece of transaction state — inline undo records, closure
+  // undo records, locks, deferred deletes, abort requests posted both
+  // directly and via the thread's context — then assert the next Begin()
+  // on this thread sees pristine state every time.
+  Rng rng(0xdead5eed);
+  TxnLock lock_a("recycle-a");
+  TxnLock lock_b("recycle-b");
+  uint64_t slot = 0;
+  int deferred_runs = 0;
+
+  for (int iter = 0; iter < 500; ++iter) {
+    Transaction* txn = manager_.Begin();
+    ExpectPristine(txn);
+
+    const uint64_t dirt = rng.Next();
+    if (dirt & 1) {
+      TxnSet(&slot, rng.Next());  // Inline undo record.
+    }
+    if (dirt & 2) {
+      TxnOnAbort([&slot] { slot = 0; });  // Closure undo record.
+    }
+    if (dirt & 4) {
+      ASSERT_EQ(lock_a.Acquire(), Status::kOk);
+      lock_a.Release();  // Deferred by 2PL until commit/abort.
+    }
+    if (dirt & 8) {
+      TxnDeferDelete([&deferred_runs] { ++deferred_runs; });
+    }
+    if (dirt & 16) {
+      // Nested child that merges its undo, lock, and deferred action up.
+      Transaction* child = manager_.Begin();
+      TxnSet(&slot, rng.Next());
+      ASSERT_EQ(lock_b.Acquire(), Status::kOk);
+      lock_b.Release();
+      TxnDeferDelete([&deferred_runs] { ++deferred_runs; });
+      ASSERT_EQ(manager_.Commit(child), Status::kOk);
+    }
+    if (dirt & 32) {
+      txn->RequestAbort(Status::kTxnLimitExceeded);
+    } else if (dirt & 64) {
+      ASSERT_TRUE(KernelContext::PostAbortRequest(
+          KernelContext::Current().os_id,
+          static_cast<int32_t>(Status::kTxnTimedOut)));
+    }
+
+    if (dirt & 128) {
+      manager_.Abort(txn, Status::kTxnAborted);
+    } else {
+      (void)manager_.Commit(txn);  // May turn into an abort; both fine.
+    }
+
+    ASSERT_FALSE(lock_a.held());
+    ASSERT_FALSE(lock_b.held());
+    ASSERT_EQ(TxnManager::Current(), nullptr);
+  }
+
+  // And one more beyond the loop, after every flavour of dirt has cycled
+  // through the slab.
+  Transaction* final_txn = manager_.Begin();
+  ExpectPristine(final_txn);
+  ASSERT_EQ(manager_.Commit(final_txn), Status::kOk);
+}
+
+TEST_F(TxnTest, RecyclingSurvivesDeepNestingBeyondSlabCap) {
+  // 64 simultaneous transactions exceed the 32-deep slab cap on unwind;
+  // the overflow path (plain delete) must coexist with recycling.
+  std::vector<Transaction*> txns;
+  for (int i = 0; i < 64; ++i) {
+    txns.push_back(manager_.Begin());
+  }
+  for (int i = 63; i >= 0; --i) {
+    ASSERT_EQ(manager_.Commit(txns[static_cast<size_t>(i)]), Status::kOk);
+  }
+  Transaction* txn = manager_.Begin();
+  ExpectPristine(txn);
+  ASSERT_EQ(manager_.Commit(txn), Status::kOk);
 }
 
 }  // namespace

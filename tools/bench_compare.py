@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Diff two benchmark JSON runs with a regression threshold.
+
+Inputs are either raw google-benchmark JSON reports (as produced by
+`bench_wrapper --json=FILE`) or a flat {"BM_Name": nanoseconds} map (the
+format BENCH_PR2.json snapshots use). Benchmarks are matched by name;
+real_time is compared.
+
+  tools/bench_compare.py old.json new.json
+  tools/bench_compare.py --threshold 15 old.json new.json
+  tools/bench_compare.py --warn-only BENCH_PR2.json#bench_txn.after new.json
+
+A `FILE#dotted.path` selector digs into a composite JSON file (used to
+compare against the committed BENCH_PR2.json snapshot). Exit status is 1 if
+any matched benchmark regressed by more than --threshold percent (unless
+--warn-only), 2 on usage/parse errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(spec):
+    """Returns {benchmark name: real_time in ns} from FILE or FILE#path."""
+    path, _, selector = spec.partition("#")
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    for key in filter(None, selector.split(".")):
+        if not isinstance(data, dict) or key not in data:
+            sys.exit(f"bench_compare: selector '{selector}' not in {path}")
+        data = data[key]
+    if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
+        times = {}
+        for b in data["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            unit = b.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+            if scale is None:
+                sys.exit(f"bench_compare: unknown time_unit '{unit}' in {path}")
+            times[b["name"]] = float(b["real_time"]) * scale
+        return times
+    if isinstance(data, dict) and all(
+        isinstance(v, (int, float)) for v in data.values()
+    ):
+        return {k: float(v) for k, v in data.items()}  # flat snapshot map
+    sys.exit(f"bench_compare: {spec} is neither a gbench report nor a flat map")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline run (FILE or FILE#dotted.path)")
+    parser.add_argument("new", help="candidate run (FILE or FILE#dotted.path)")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max tolerated real_time increase in percent (default 25)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI smoke on shared boxes)",
+    )
+    args = parser.parse_args()
+
+    old = load_times(args.old)
+    new = load_times(args.new)
+    common = [name for name in old if name in new]
+    if not common:
+        sys.exit("bench_compare: no common benchmarks between the two runs")
+
+    width = max(len(n) for n in common)
+    regressions = []
+    print(f"{'benchmark'.ljust(width)}  {'old ns':>12}  {'new ns':>12}  delta")
+    for name in common:
+        o, n = old[name], new[name]
+        delta = (n - o) / o * 100.0 if o > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((name, delta))
+        print(f"{name.ljust(width)}  {o:12.1f}  {n:12.1f}  {delta:+7.1f}%{flag}")
+
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    if only_old:
+        print(f"only in baseline: {', '.join(only_old)}")
+    if only_new:
+        print(f"only in candidate: {', '.join(only_new)}")
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} benchmark(s) regressed beyond "
+            f"{args.threshold:.0f}%:"
+        )
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%")
+        if not args.warn_only:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

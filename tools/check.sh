@@ -8,15 +8,25 @@
 #      races (Drain vs DispatchAsync, pool lifecycle, txn locks) fail CI
 #      instead of shipping.
 #
-# Usage: tools/check.sh [--fast]
-#   --fast  skip the sanitizer stage (normal build + tests + flake guard).
+# Usage: tools/check.sh [--fast] [--bench]
+#   --fast   skip the sanitizer stage (normal build + tests + flake guard).
+#   --bench  also run the wrapper/txn micro-benchmarks and diff them against
+#            the committed BENCH_PR2.json snapshot (warn-only: shared CI
+#            boxes are too noisy for a hard perf gate; read the table).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --bench) BENCH=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== [1/3] build + full test suite =="
 cmake -B build -S . >/dev/null
@@ -26,6 +36,16 @@ ctest --test-dir build --output-on-failure -j "$JOBS"
 echo "== [2/3] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
+
+if [[ "$BENCH" == "1" ]]; then
+  echo "== [bench] wrapper/txn micros vs BENCH_PR2.json (warn-only) =="
+  for b in bench_wrapper bench_txn; do
+    build/bench/"$b" --json="build/$b.smoke.json" \
+      --benchmark_min_time=0.05 >/dev/null
+    tools/bench_compare.py --warn-only \
+      "BENCH_PR2.json#$b.after" "build/$b.smoke.json"
+  done
+fi
 
 if [[ "$FAST" == "1" ]]; then
   echo "== [3/3] skipped (--fast) =="
