@@ -22,6 +22,7 @@
 #include <cstdint>
 
 #include "src/base/context.h"
+#include "src/base/hash.h"
 
 namespace vino {
 
@@ -31,12 +32,15 @@ namespace vino {
 inline constexpr size_t kStatShards = 16;
 
 namespace internal {
-// The calling thread's shard. os_id is assigned sequentially at thread birth,
-// so consecutive threads land on consecutive shards (round-robin, no hash
-// clustering). Cached per thread: one thread_local read per bump.
+// The calling thread's shard. os_id is assigned sequentially at thread
+// birth; masking it directly aliases pathologically on >16-core machines
+// whose dense ids differ only above the mask (every 17th thread collides
+// with the first), so the id goes through the splitmix64 finalizer first —
+// collisions become uniform-random instead of periodic. Cached per thread:
+// one thread_local read per bump.
 inline size_t StatShard() {
-  thread_local const size_t shard =
-      static_cast<size_t>(KernelContext::Current().os_id) & (kStatShards - 1);
+  thread_local const size_t shard = static_cast<size_t>(
+      MixU64(KernelContext::Current().os_id) & (kStatShards - 1));
   return shard;
 }
 }  // namespace internal

@@ -1,0 +1,239 @@
+// The kernel flight recorder.
+//
+// Flat counters (ShardedCounters, per-graft invocation/abort totals) say
+// *how often* the safe path aborted; they cannot say *why* or *what it
+// cost*. The flight recorder keeps the last few thousand lifecycle events
+// per thread — graft invocations with their path tag, transaction
+// begin/commit/abort with locks-held and undo-length, lock contention and
+// time-outs, watchdog fires, resource denials, graft ejections, worker-pool
+// saturation — so an abort or ejection can be reconstructed after the fact
+// (the paper's Table 2 path decomposition and §4.5 abort-cost model both
+// need exactly this data).
+//
+// Design constraints, in order:
+//  1. Near-zero cost when disabled: TRACE sites compile to one relaxed
+//     atomic bool load and a predictable branch. The PR-2 null-graft safe
+//     path budget (<5% regression) is the gate.
+//  2. No allocation on the hot path when enabled: each thread owns a
+//     fixed-size ring of POD records, allocated once on the thread's first
+//     post (tests/alloc_test.cc warms it, then asserts zero).
+//  3. No writer-side synchronization: a ring has exactly one writer (its
+//     thread). Readers (snapshot/merge) are lock-free against writers: the
+//     writer publishes each record with a release store of the ring head;
+//     a reader validates after copying that the slot was not recycled
+//     (records are dropped, never torn). Record words are relaxed atomics
+//     so concurrent snapshot-during-write is data-race-free (TSan-clean)
+//     yet compiles to plain stores on x86.
+//
+// Wrap-around loses the *oldest* records, by design — a flight recorder
+// keeps the most recent history; per-ring drop counts are reported so a
+// consumer knows what it is missing.
+
+#ifndef VINOLITE_SRC_BASE_TRACE_H_
+#define VINOLITE_SRC_BASE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace vino {
+namespace trace {
+
+// Every subsystem's lifecycle events, one flat namespace so a merged view
+// reads as a single timeline.
+enum class Event : uint16_t {
+  kNone = 0,
+
+  // Graft invocation wrapper (src/graft/invocation.h).
+  kInvokeBegin,    // tag = PathTag (kNull for ungrafted), a = graft trace id.
+  kInvokeEnd,      // tag = final PathTag, a = graft trace id, b = duration ns.
+
+  // Transactions (src/txn/txn_manager.cc).
+  kTxnBegin,       // a = txn id, a32 = depth.
+  kTxnCommit,      // a = txn id, a32 = locks held, b = undo length.
+  kTxnAbort,       // tag = Status reason, a = txn id,
+                   // a32 = locks held (L), b = undo length (G).
+
+  // Locks (src/txn/txn_lock.cc, src/lockmgr/lock_manager.cc).
+  kLockAcquire,    // a = lock/resource id, a32 = mode or recursion.
+  kLockContend,    // a = lock/resource id, b = waiters or wait-start.
+  kLockTimeout,    // a = lock/resource id, b = waited µs (holder abort posted).
+
+  // Watchdog (src/txn/watchdog.cc).
+  kWatchdogFire,   // a = victim os id, b = overshoot µs past the deadline.
+
+  // Resource accounting (src/resource/account.cc).
+  kResourceCharge, // tag = ResourceType, a = amount, b = usage after.
+  kResourceDenied, // tag = ResourceType, a = amount, b = limit.
+
+  // Policy (graft points, worker pool).
+  kGraftEjected,   // tag = Status reason, a = graft trace id.
+  kPoolSaturated,  // a = queue depth, a32 = 1 if submitter blocked (kBlock).
+};
+
+[[nodiscard]] std::string_view EventName(Event e);
+
+// Which of the paper's measured paths an invocation took (Table 2 rows).
+enum class PathTag : uint16_t {
+  kNull = 0,   // Ungrafted point: indirection + verification only.
+  kUnsafe,     // Native graft (host C++ inside the transaction window).
+  kSafe,       // Program graft, committed.
+  kAbort,      // Any graft, aborted.
+};
+
+[[nodiscard]] std::string_view PathTagName(PathTag tag);
+
+// Fixed-size POD record: 32 bytes, four words, no pointers chased at
+// replay time. `time_ns` is the host steady clock so per-thread streams
+// merge into one timeline.
+struct Record {
+  uint64_t time_ns = 0;
+  uint16_t event = 0;  // Event
+  uint16_t tag = 0;    // PathTag / Status / ResourceType, event-dependent.
+  uint32_t a32 = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+static_assert(sizeof(Record) == 32, "trace record is four words");
+static_assert(std::is_trivially_copyable_v<Record>,
+              "trace record must be POD: it is memcpy'd through atomics");
+
+// A Record plus its provenance, produced by snapshot/merge.
+struct TaggedRecord {
+  Record record;
+  uint64_t os_id = 0;  // Writer thread (KernelContext os id).
+  uint64_t seq = 0;    // Position in that thread's stream (monotonic).
+};
+
+// ---------------------------------------------------------------------------
+// Enable flag. Relaxed: a site that narrowly misses a toggle posts (or
+// skips) one event — tracing is observability, not synchronization.
+
+namespace internal {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+[[nodiscard]] inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+// Turns tracing on/off process-wide. Also on at process start when the
+// VINO_TRACE environment variable is set non-empty and not "0" (how
+// tools/check.sh runs the whole suite with the recorder live).
+void SetEnabled(bool enabled);
+
+// ---------------------------------------------------------------------------
+// The per-thread ring.
+
+// 4096 records × 32 B = 128 KiB per traced thread, allocated on the
+// thread's first post and owned by the registry until process exit (a
+// thread's history must survive the thread: pool workers and watchdog
+// tickers exit before anyone reads the recorder).
+inline constexpr size_t kRingRecords = 4096;
+
+class Ring {
+ public:
+  explicit Ring(uint64_t os_id) : os_id_(os_id) {}
+
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  [[nodiscard]] uint64_t os_id() const { return os_id_; }
+
+  // Total records ever posted; head - min(head, kRingRecords) of them have
+  // been overwritten.
+  [[nodiscard]] uint64_t head() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  // Owning thread only. Writes the slot's words (relaxed), then publishes
+  // with a release store of the head.
+  void Post(const Record& record) {
+    const uint64_t h = head_.load(std::memory_order_relaxed);
+    const size_t base = (h & (kRingRecords - 1)) * kWordsPerRecord;
+    uint64_t w[kWordsPerRecord];
+    std::memcpy(w, &record, sizeof(record));
+    for (size_t i = 0; i < kWordsPerRecord; ++i) {
+      words_[base + i].store(w[i], std::memory_order_relaxed);
+    }
+    head_.store(h + 1, std::memory_order_release);
+  }
+
+  // Any thread. Appends the ring's currently valid records (oldest first) as
+  // TaggedRecords; returns how many of the posted records were lost to
+  // wrap-around (or invalidated mid-copy by the writer lapping us).
+  uint64_t SnapshotInto(std::vector<TaggedRecord>& out) const;
+
+ private:
+  static constexpr size_t kWordsPerRecord = sizeof(Record) / sizeof(uint64_t);
+
+  const uint64_t os_id_;
+  std::atomic<uint64_t> head_{0};
+  // Flat word array: slot i occupies words [i*4, i*4+4). Relaxed atomics so
+  // a snapshot racing the writer is DRF; plain stores on mainstream ISAs.
+  std::atomic<uint64_t> words_[kRingRecords * kWordsPerRecord] = {};
+};
+
+// The calling thread's ring, creating and registering it on first use.
+// The one allocation a traced thread ever performs for tracing.
+[[nodiscard]] Ring& RingForCurrentThread();
+
+// Posts one record to the calling thread's ring, stamping the clock.
+// Call sites guard with Enabled() so the disabled cost stays one
+// load+branch and no clock read.
+void Post(Event event, uint16_t tag, uint32_t a32, uint64_t a, uint64_t b);
+
+// The recorder's clock (host steady clock, ns). For call sites that also
+// measure durations fed to a LatencyHistogram; only read when tracing is
+// enabled.
+[[nodiscard]] uint64_t NowNs();
+
+// ---------------------------------------------------------------------------
+// Snapshot / merge.
+
+// Consumer of a merged, time-ordered event stream.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnRecord(const TaggedRecord& record) = 0;
+};
+
+struct SnapshotStats {
+  uint64_t records = 0;   // Records delivered.
+  uint64_t dropped = 0;   // Posted but lost to ring wrap-around.
+  uint64_t rings = 0;     // Per-thread rings stitched (live + retired).
+};
+
+// Stitches every thread's ring into one view ordered by (time_ns, os_id,
+// seq) and returns it. Safe to call while writers are posting: each ring
+// contributes a consistent recent window; records overwritten mid-copy are
+// counted as dropped, never torn.
+[[nodiscard]] std::vector<TaggedRecord> Snapshot(SnapshotStats* stats = nullptr);
+
+// Snapshot() delivered through a sink, for consumers that stream.
+SnapshotStats Drain(TraceSink& sink);
+
+// Test hook: forgets all rings and their histories. Callers must guarantee
+// no thread is concurrently posting (quiescent point); threads that already
+// cached their ring pointer get a fresh ring on their next post.
+void ResetForTest();
+
+}  // namespace trace
+
+// The hot-path instrumentation macro: one relaxed load + branch when
+// disabled; clock read + ring append when enabled.
+#define VINO_TRACE(event, tag, a32, a, b)                                   \
+  do {                                                                      \
+    if (::vino::trace::Enabled()) {                                         \
+      ::vino::trace::Post((event), static_cast<uint16_t>(tag),              \
+                          static_cast<uint32_t>(a32),                       \
+                          static_cast<uint64_t>(a),                         \
+                          static_cast<uint64_t>(b));                        \
+    }                                                                       \
+  } while (0)
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_BASE_TRACE_H_

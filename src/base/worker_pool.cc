@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/base/trace.h"
+
 namespace vino {
 
 WorkerPool::WorkerPool(const Config& config) : config_([&config] {
@@ -34,6 +36,14 @@ void WorkerPool::Submit(Task task) {
     std::unique_lock<std::mutex> lock(mutex_);
     ++stats_.submitted;
     if (!stopping_) {
+      if (queue_.size() >= config_.queue_capacity) {
+        // Flight recorder: one record per saturated submit. `a32` = 1 when
+        // the submitter will block for a slot, 0 when it degrades to
+        // running the task inline; `a` = queue depth at the decision.
+        VINO_TRACE(trace::Event::kPoolSaturated, 0,
+                   config_.saturation == SaturationPolicy::kBlock ? 1u : 0u,
+                   queue_.size(), stats_.blocked_submits + 1);
+      }
       if (queue_.size() >= config_.queue_capacity &&
           config_.saturation == SaturationPolicy::kBlock) {
         ++stats_.blocked_submits;

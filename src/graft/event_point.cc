@@ -6,6 +6,7 @@
 
 #include "src/base/context.h"
 #include "src/base/log.h"
+#include "src/base/trace.h"
 #include "src/graft/invocation.h"
 #include "src/graft/namespace.h"
 
@@ -78,6 +79,7 @@ bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
   InvocationParams params;
   params.fuel = config_.fuel;
   params.poll_interval = config_.poll_interval;
+  params.latency = &handler_latency_;
 
   const InvocationOutcome outcome =
       RunGraftInvocation(*txn_manager_, host_, graft, args, params);
@@ -90,6 +92,9 @@ bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
   // Covert denial of service (§2.5): a handler that cannot complete is
   // removed so the event stream keeps flowing.
   RemoveHandler(graft->name());
+  VINO_TRACE(trace::Event::kGraftEjected,
+             static_cast<uint16_t>(outcome.status), 0, graft->trace_id(),
+             graft->aborts());
   return false;
 }
 

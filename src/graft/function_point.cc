@@ -2,6 +2,7 @@
 
 #include "src/base/context.h"
 #include "src/base/log.h"
+#include "src/base/trace.h"
 #include "src/graft/invocation.h"
 #include "src/graft/namespace.h"
 
@@ -40,13 +41,16 @@ Status FunctionGraftPoint::Replace(std::shared_ptr<Graft> graft) {
 
 void FunctionGraftPoint::Remove() { graft_.store(nullptr); }
 
-void FunctionGraftPoint::ForciblyRemove(const std::shared_ptr<Graft>& graft) {
+void FunctionGraftPoint::ForciblyRemove(const std::shared_ptr<Graft>& graft,
+                                        Status reason) {
   // Only remove the graft that misbehaved; a racing replacement survives.
   std::shared_ptr<Graft> expected = graft;
   if (graft_.compare_exchange_strong(expected, nullptr)) {
     counters_.Add(kForcibleRemovals);
     VINO_LOG_WARN << "graft point '" << name_ << "': forcibly removed graft '"
                   << graft->name() << "'";
+    VINO_TRACE(trace::Event::kGraftEjected, static_cast<uint16_t>(reason), 0,
+               graft->trace_id(), graft->aborts());
   }
 }
 
@@ -59,11 +63,27 @@ uint64_t FunctionGraftPoint::Invoke(std::span<const uint64_t> args) {
   std::shared_ptr<Graft> graft = graft_.load(std::memory_order_acquire);
   if (graft == nullptr) {
     // The VINO path: indirection plus (cheap) verification, no transaction.
+    // Flight recorder: begin/end pair tagged kNull so the timeline shows
+    // ungrafted traffic too (trace id 0 = "no graft").
+    const bool traced = trace::Enabled();
+    uint64_t start_ns = 0;
+    if (traced) {
+      start_ns = trace::NowNs();
+      trace::Post(trace::Event::kInvokeBegin,
+                  static_cast<uint16_t>(trace::PathTag::kNull), 0, 0, 0);
+    }
     const uint64_t result = default_fn_(args);
     if (config_.validator && !config_.validator(result, args)) {
       // A default implementation failing its own validator is a kernel bug;
       // surface loudly in debug logs but return it (nothing safer exists).
       VINO_LOG_ERROR << "graft point '" << name_ << "': default failed validation";
+    }
+    if (traced) {
+      const uint64_t duration_ns = trace::NowNs() - start_ns;
+      invoke_latency_.Record(duration_ns);
+      trace::Post(trace::Event::kInvokeEnd,
+                  static_cast<uint16_t>(trace::PathTag::kNull), 0, 0,
+                  duration_ns);
     }
     return result;
   }
@@ -80,6 +100,7 @@ uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
   params.watchdog = config_.watchdog;
   params.wall_budget = config_.wall_budget;
   params.validator = config_.validator ? &config_.validator : nullptr;
+  params.latency = &invoke_latency_;
 
   const InvocationOutcome outcome =
       RunGraftInvocation(*txn_manager_, host_, graft, args, params);
@@ -88,7 +109,7 @@ uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
     // Aborted (undo replayed, locks released): forcibly remove the graft and
     // fall back to the default implementation (Rule 9: forward progress).
     counters_.Add(kGraftAborts);
-    ForciblyRemove(graft);
+    ForciblyRemove(graft, outcome.status);
     VINO_LOG_INFO << "graft point '" << name_ << "': graft '" << graft->name()
                   << "' aborted: " << StatusName(outcome.status);
     return default_fn_(args);
@@ -99,7 +120,7 @@ uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
     const uint64_t strikes =
         bad_result_strikes_.fetch_add(1, std::memory_order_relaxed) + 1;
     if (config_.max_bad_results != 0 && strikes >= config_.max_bad_results) {
-      ForciblyRemove(graft);
+      ForciblyRemove(graft, Status::kBadResult);
     }
     return default_fn_(args);
   }

@@ -1,11 +1,18 @@
 #include "src/graft/graft.h"
 
+#include <atomic>
+
 namespace vino {
 namespace {
 
 constexpr uint32_t kNativeArenaLog2 = 16;  // 64 KiB.
 
 }  // namespace
+
+uint64_t Graft::NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Graft::Graft(std::string name, Program program, GraftIdentity owner,
              uint64_t kernel_region_size)

@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "src/base/histogram.h"
 #include "src/base/status.h"
 #include "src/resource/account.h"
 #include "src/sfi/memory_image.h"
@@ -71,16 +72,33 @@ class Graft {
     return aborts_.load(std::memory_order_relaxed);
   }
 
+  // --- Flight-recorder attribution ------------------------------------
+  // Process-unique id carried in trace records, so a merged timeline can
+  // name the graft without chasing pointers into freed objects.
+  [[nodiscard]] uint64_t trace_id() const { return trace_id_; }
+
+  // One abort sample (§4.5 cost model): L locks held, G undo records
+  // replayed, measured abort cost. Fed by the invocation wrapper when
+  // tracing is enabled; Fit() gives this graft's own a + b·L + c·G line.
+  void RecordAbortCost(uint64_t locks, uint64_t undo_len, uint64_t cost_ns) {
+    abort_cost_.Record(locks, undo_len, cost_ns);
+  }
+  [[nodiscard]] const AbortCostModel& abort_cost() const { return abort_cost_; }
+
  private:
+  static uint64_t NextTraceId();
+
   std::string name_;
   Program program_;
   NativeFn native_fn_;
   GraftIdentity owner_;
   MemoryImage image_;
   ResourceAccount account_;
+  const uint64_t trace_id_ = NextTraceId();
 
   std::atomic<uint64_t> invocations_{0};
   std::atomic<uint64_t> aborts_{0};
+  AbortCostModel abort_cost_;
 };
 
 }  // namespace vino

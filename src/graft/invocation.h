@@ -29,7 +29,9 @@
 
 #include "src/base/clock.h"
 #include "src/base/context.h"
+#include "src/base/histogram.h"
 #include "src/base/status.h"
+#include "src/base/trace.h"
 #include "src/graft/graft.h"
 #include "src/sfi/host.h"
 #include "src/sfi/vm.h"
@@ -53,6 +55,11 @@ struct InvocationParams {
   // any result. Borrowed to keep the hot path free of std::function copies.
   const std::function<bool(uint64_t, std::span<const uint64_t>)>* validator =
       nullptr;
+
+  // Optional borrowed histogram receiving the whole invocation's duration
+  // (all paths) when tracing is enabled. Graft points pass their own so the
+  // flight recorder can export per-point p50/p95/p99.
+  LatencyHistogram* latency = nullptr;
 };
 
 struct InvocationOutcome {
@@ -85,6 +92,20 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
                                             std::span<const uint64_t> args,
                                             const InvocationParams& params) {
   graft->CountInvocation();
+
+  // Flight recorder (src/base/trace.h): one relaxed load when disabled;
+  // begin/end records bracketing the safe path when enabled. `traced` is
+  // sampled once so begin and end records always pair up.
+  const bool traced = trace::Enabled();
+  uint64_t invoke_start_ns = 0;
+  if (traced) {
+    invoke_start_ns = trace::NowNs();
+    trace::Post(trace::Event::kInvokeBegin,
+                static_cast<uint16_t>(graft->is_native()
+                                          ? trace::PathTag::kUnsafe
+                                          : trace::PathTag::kSafe),
+                0, graft->trace_id(), 0);
+  }
 
   // The wrapper (paper §3.1): begin a transaction, swap in the graft's
   // resource account, run, commit.
@@ -134,9 +155,31 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
   if (!IsOk(failure)) {
     // Abort: replay undo, release locks. The caller applies its removal
     // policy (forcible removal / handler removal) and falls back.
+    // Abort-cost attribution (§4.5): L and G are read *before* Abort
+    // consumes them, and the abort itself is timed, so this graft's
+    // a + b·L + c·G model accumulates one sample per abort.
+    uint64_t held_locks = 0;
+    uint64_t undo_len = 0;
+    uint64_t abort_start_ns = 0;
+    if (traced) {
+      held_locks = scope.txn()->lock_count();
+      undo_len = scope.txn()->undo().size();
+      abort_start_ns = trace::NowNs();
+    }
     scope.Abort(failure);
     graft->CountAbort();
     outcome.status = failure;
+    if (traced) {
+      const uint64_t now_ns = trace::NowNs();
+      graft->RecordAbortCost(held_locks, undo_len, now_ns - abort_start_ns);
+      if (params.latency != nullptr) {
+        params.latency->Record(now_ns - invoke_start_ns);
+      }
+      trace::Post(trace::Event::kInvokeEnd,
+                  static_cast<uint16_t>(trace::PathTag::kAbort),
+                  static_cast<uint32_t>(held_locks), graft->trace_id(),
+                  now_ns - invoke_start_ns);
+    }
     return outcome;
   }
 
@@ -149,9 +192,24 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
   const Status commit_status = scope.Commit();
   if (!IsOk(commit_status)) {
     // An asynchronous abort (lock time-out) beat the commit; Commit already
-    // performed the abort.
+    // performed the abort. (TxnManager recorded that abort's L/G/cost in
+    // its global model; the per-graft sample is lost — Commit consumed the
+    // transaction before we could measure.)
     graft->CountAbort();
     outcome.status = commit_status;
+  }
+  if (traced) {
+    const uint64_t now_ns = trace::NowNs();
+    if (params.latency != nullptr) {
+      params.latency->Record(now_ns - invoke_start_ns);
+    }
+    trace::Post(trace::Event::kInvokeEnd,
+                static_cast<uint16_t>(!IsOk(commit_status)
+                                          ? trace::PathTag::kAbort
+                                          : (graft->is_native()
+                                                 ? trace::PathTag::kUnsafe
+                                                 : trace::PathTag::kSafe)),
+                0, graft->trace_id(), now_ns - invoke_start_ns);
   }
   return outcome;
 }

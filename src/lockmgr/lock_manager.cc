@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstddef>
 
+#include "src/base/trace.h"
+
 namespace vino {
 namespace {
 
@@ -80,10 +82,14 @@ Status SimpleLockManager::GetLock(LockResourceId resource, LockHolderId holder,
   // (ignores waiters — reader priority).
   if (!ConflictsWithHolders(state, request)) {
     state.holders.push_back(request);
+    VINO_TRACE(trace::Event::kLockAcquire, static_cast<uint16_t>(mode), 0,
+               resource, holder);
     return Status::kOk;
   }
   // Hard-coded policy 2: append to the waiters list (FIFO).
   state.waiters.push_back(request);
+  VINO_TRACE(trace::Event::kLockContend, static_cast<uint16_t>(mode),
+             static_cast<uint32_t>(state.waiters.size()), resource, holder);
   return Status::kBusy;
 }
 
@@ -140,6 +146,8 @@ Status PolicyLockManager::GetLock(LockResourceId resource, LockHolderId holder,
   // Decision point 1, behind an indirection.
   if (grant_policy_(state, request)) {
     state.holders.push_back(request);
+    VINO_TRACE(trace::Event::kLockAcquire, static_cast<uint16_t>(mode), 0,
+               resource, holder);
     return Status::kOk;
   }
   // Decision point 2, behind an indirection.
@@ -149,6 +157,8 @@ Status PolicyLockManager::GetLock(LockResourceId resource, LockHolderId holder,
   }
   state.waiters.insert(state.waiters.begin() + static_cast<ptrdiff_t>(index),
                        request);
+  VINO_TRACE(trace::Event::kLockContend, static_cast<uint16_t>(mode),
+             static_cast<uint32_t>(state.waiters.size()), resource, holder);
   return Status::kBusy;
 }
 

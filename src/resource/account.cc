@@ -1,6 +1,7 @@
 #include "src/resource/account.h"
 
 #include "src/base/context.h"
+#include "src/base/trace.h"
 #include "src/txn/accessor.h"
 
 namespace vino {
@@ -102,12 +103,23 @@ ResourceAccount* ResourceAccount::ChargeTarget() {
 Status ResourceAccount::Charge(ResourceType type, uint64_t amount) {
   ResourceAccount* target = ChargeTarget();
   const size_t i = static_cast<size_t>(type);
-  std::lock_guard<std::mutex> guard(target->mutex_);
-  if (target->usage_[i] + amount > target->limits_[i]) {
-    return Status::kLimitExceeded;
+  // Flight recorder: snapshot the decision inputs under the lock, post
+  // after it drops (no clock read or ring write inside the critical
+  // section). `a` = amount, `b` = usage after the decision.
+  bool denied;
+  uint64_t usage_after;
+  {
+    std::lock_guard<std::mutex> guard(target->mutex_);
+    denied = target->usage_[i] + amount > target->limits_[i];
+    if (!denied) {
+      target->usage_[i] += amount;
+    }
+    usage_after = target->usage_[i];
   }
-  target->usage_[i] += amount;
-  return Status::kOk;
+  VINO_TRACE(denied ? trace::Event::kResourceDenied
+                    : trace::Event::kResourceCharge,
+             static_cast<uint16_t>(type), 0, amount, usage_after);
+  return denied ? Status::kLimitExceeded : Status::kOk;
 }
 
 void ResourceAccount::Uncharge(ResourceType type, uint64_t amount) {

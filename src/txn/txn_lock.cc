@@ -5,6 +5,7 @@
 
 #include "src/base/context.h"
 #include "src/base/log.h"
+#include "src/base/trace.h"
 
 namespace vino {
 
@@ -25,8 +26,17 @@ Status TxnLock::Acquire() {
 
   const Micros wait_start = SteadyClock::Instance().NowMicros();
   bool timeout_fired = false;
+  bool contend_posted = false;
 
   while (HeldLocked()) {
+    // Flight recorder: one contend record per blocked acquire, however many
+    // poll quanta the wait spans. `a` identifies the lock, `b` the holder
+    // that is in the way.
+    if (!contend_posted) {
+      contend_posted = true;
+      VINO_TRACE(trace::Event::kLockContend, 0, 0,
+                 reinterpret_cast<uint64_t>(this), owner_os_id_);
+    }
     // A waiter whose own transaction is doomed must unwind, not block: its
     // abort is what releases *its* locks and lets the system make progress
     // (Rule 9). This is also how deadlock cycles drain once a time-out has
@@ -53,6 +63,8 @@ Status TxnLock::Acquire() {
       ++timeout_fires_;
       VINO_LOG_INFO << "lock '" << name_ << "': contention timeout after "
                     << waited << "us; requesting holder abort";
+      VINO_TRACE(trace::Event::kLockTimeout, 0, 0,
+                 reinterpret_cast<uint64_t>(this), waited);
       KernelContext::PostAbortRequest(
           owner_os_id_, static_cast<int32_t>(Status::kTxnTimedOut));
     }
@@ -64,6 +76,9 @@ Status TxnLock::Acquire() {
   if (my_txn != nullptr) {
     my_txn->AddLock(this);
   }
+  VINO_TRACE(trace::Event::kLockAcquire, 0,
+             contend_posted ? 1u : 0u, reinterpret_cast<uint64_t>(this),
+             SteadyClock::Instance().NowMicros() - wait_start);
   return Status::kOk;
 }
 

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "src/base/log.h"
+#include "src/base/trace.h"
 #include "src/txn/txn_lock.h"
 
 namespace vino {
@@ -67,12 +68,27 @@ Transaction* TxnManager::Begin() {
   }
   ctx.txn = txn;
   counters_.Add(kBegins);
+  VINO_TRACE(trace::Event::kTxnBegin, 0, txn->depth(), id, 0);
   return txn;
 }
 
 Status TxnManager::Commit(Transaction* txn) {
   KernelContext& ctx = KernelContext::Current();
   assert(ctx.txn == txn && "Commit must target the innermost transaction");
+
+  // Flight recorder: L/G/id are consumed by the commit (merged, cleared, or
+  // recycled), so capture them up front; the path is timed end-to-end.
+  const bool traced = trace::Enabled();
+  uint64_t commit_start_ns = 0;
+  uint64_t traced_id = 0;
+  uint32_t traced_locks = 0;
+  uint64_t traced_undo = 0;
+  if (traced) {
+    commit_start_ns = trace::NowNs();
+    traced_id = txn->id();
+    traced_locks = static_cast<uint32_t>(txn->locks_.size());
+    traced_undo = txn->undo_.size();
+  }
 
   // An asynchronously requested abort (e.g. a waiter timed out on one of our
   // locks) turns the commit into an abort: the requester has judged this
@@ -117,6 +133,11 @@ Status TxnManager::Commit(Transaction* txn) {
   ctx.txn = parent;
   counters_.Add(kCommits);
   SlabPush(ctx, txn);
+  if (traced) {
+    commit_latency_.Record(trace::NowNs() - commit_start_ns);
+    trace::Post(trace::Event::kTxnCommit, 0, traced_locks, traced_id,
+                traced_undo);
+  }
   return Status::kOk;
 }
 
@@ -125,6 +146,22 @@ void TxnManager::Abort(Transaction* txn, Status reason) {
   assert(ctx.txn == txn && "Abort must target the innermost transaction");
 
   VINO_LOG_DEBUG << "txn " << txn->id() << " abort: " << StatusName(reason);
+
+  // Abort-cost attribution (§4.5): L and G before the undo replay destroys
+  // them, wall time across the whole replay+release. Feeds the manager-wide
+  // a + b·L + c·G fit; the invocation wrapper separately attributes the
+  // sample to the aborting graft.
+  const bool traced = trace::Enabled();
+  uint64_t abort_start_ns = 0;
+  uint64_t traced_id = 0;
+  uint32_t traced_locks = 0;
+  uint64_t traced_undo = 0;
+  if (traced) {
+    abort_start_ns = trace::NowNs();
+    traced_id = txn->id();
+    traced_locks = static_cast<uint32_t>(txn->locks_.size());
+    traced_undo = txn->undo_.size();
+  }
 
   // Undo first, then release locks: the undo operations may touch the very
   // state those locks protect.
@@ -144,6 +181,13 @@ void TxnManager::Abort(Transaction* txn, Status reason) {
     counters_.Add(kTimeoutAborts);
   }
   SlabPush(ctx, txn);
+  if (traced) {
+    const uint64_t cost_ns = trace::NowNs() - abort_start_ns;
+    abort_latency_.Record(cost_ns);
+    abort_cost_.Record(traced_locks, traced_undo, cost_ns);
+    trace::Post(trace::Event::kTxnAbort, static_cast<uint16_t>(reason),
+                traced_locks, traced_id, traced_undo);
+  }
 }
 
 void TxnManager::ReleaseLocks(Transaction* txn) {

@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "src/base/context.h"
+#include "src/base/histogram.h"
 #include "src/base/sharded_counter.h"
 #include "src/base/status.h"
 #include "src/txn/transaction.h"
@@ -65,6 +66,19 @@ class TxnManager {
 
   [[nodiscard]] TxnStats stats() const;
 
+  // --- Flight-recorder exports (populated while tracing is enabled) -----
+  // Durations of the commit and abort paths, log-bucketed for p50/p95/p99.
+  [[nodiscard]] const LatencyHistogram& commit_latency() const {
+    return commit_latency_;
+  }
+  [[nodiscard]] const LatencyHistogram& abort_latency() const {
+    return abort_latency_;
+  }
+  // Manager-wide fit of the paper's abort-cost model `a + b·L + c·G`
+  // (§4.5's measured 35 µs + 10 µs·L + c·G): every abort contributes its
+  // locks-held count, undo-log length, and measured cost.
+  [[nodiscard]] const AbortCostModel& abort_cost() const { return abort_cost_; }
+
  private:
   void ReleaseLocks(Transaction* txn);
 
@@ -86,6 +100,12 @@ class TxnManager {
     kNestedBegins,
   };
   ShardedCounters<5> counters_;
+
+  // Flight-recorder data; written only when trace::Enabled() (the disabled
+  // hot path never reads the clock or touches these lines).
+  LatencyHistogram commit_latency_;
+  LatencyHistogram abort_latency_;
+  AbortCostModel abort_cost_;
 };
 
 // RAII wrapper for kernel code paths that bracket work in a transaction.

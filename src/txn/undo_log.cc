@@ -10,7 +10,7 @@ void UndoLog::ReplayAndClear() {
     if (it->fn != nullptr) {
       it->fn(it->args[0], it->args[1], it->args[2], it->args[3]);
     } else {
-      std::function<void()>& closure = closures_[it->args[0]];
+      UndoClosure& closure = closures_[it->args[0]];
       if (closure) {
         closure();
       }
@@ -34,7 +34,7 @@ void UndoLog::MergeInto(UndoLog& parent) {
   // Bulk-append after rebasing: every rebased index lands past the
   // parent's pre-merge closure count in one go.
   parent.closures_.reserve(parent.closures_.size() + closures_.size());
-  for (std::function<void()>& c : closures_) {
+  for (UndoClosure& c : closures_) {
     parent.closures_.push_back(std::move(c));
   }
   Clear();

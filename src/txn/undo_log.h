@@ -11,20 +11,140 @@
 // destructor), and rare captured-state undos live in a side vector of
 // closures referenced by index from a record. Pushing an inline record is a
 // 40-byte trivially-copyable append; a recycled transaction's vectors keep
-// their capacity, so steady-state pushes never allocate. Replay is LIFO
-// across both stores (the record vector carries the global sequence). The
-// log is transient — there is no redo, no durability (paper: of ACID "we
-// need only provide the first three").
+// their capacity, so steady-state pushes never allocate. Captured-state
+// closures get the same treatment: UndoClosure stores captures of up to 32
+// bytes inline (pointer + a few words — every accessor in the tree today),
+// so a warmed PushClosure is allocation-free too; only oversized or
+// throwing-move captures fall back to the heap. Replay is LIFO across both
+// stores (the record vector carries the global sequence). The log is
+// transient — there is no redo, no durability (paper: of ACID "we need only
+// provide the first three").
 
 #ifndef VINOLITE_SRC_TXN_UNDO_LOG_H_
 #define VINOLITE_SRC_TXN_UNDO_LOG_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <new>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace vino {
+
+// Move-only type-erased void() callable with small-buffer storage. A
+// deliberately minimal std::function replacement for the undo side store:
+// no copy, no target introspection, no allocator — just enough surface for
+// "capture a few words, run once on abort".
+class UndoClosure {
+ public:
+  // Inline capture budget. 32 bytes = four words: object pointer plus up to
+  // three words of prior state, which covers every in-tree accessor undo.
+  static constexpr size_t kInlineBytes = 32;
+
+  UndoClosure() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UndoClosure>>>
+  UndoClosure(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (kInlineEligible<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  UndoClosure(UndoClosure&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  UndoClosure& operator=(UndoClosure&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  UndoClosure(const UndoClosure&) = delete;
+  UndoClosure& operator=(const UndoClosure&) = delete;
+
+  ~UndoClosure() { Destroy(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  // True when the target lives in the inline buffer (no heap). Exposed so
+  // tests can assert the small-capture guarantee.
+  [[nodiscard]] bool is_inline() const {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-construct into dst from src and end src's lifetime. noexcept by
+    // construction: inline targets require nothrow move, heap targets just
+    // relocate a pointer.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool kInlineEligible =
+      sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static Fn* Target(void* storage) {
+    return std::launder(reinterpret_cast<Fn*>(storage));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* s) { (*Target<Fn>(s))(); },
+      [](void* dst, void* src) {
+        Fn* from = Target<Fn>(src);
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* s) { Target<Fn>(s)->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* s) { (**reinterpret_cast<Fn**>(s))(); },
+      [](void* dst, void* src) {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](void* s) { delete *reinterpret_cast<Fn**>(s); },
+      false,
+  };
+
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+};
 
 class UndoLog {
  public:
@@ -46,10 +166,13 @@ class UndoLog {
 
   // Escape hatch for undos that need captured state. The record slot keeps
   // the closure's side-vector index so replay/merge preserve sequence.
-  void PushClosure(std::function<void()> closure) {
+  // Captures of up to UndoClosure::kInlineBytes stay in the side vector's
+  // own storage — no heap allocation once the vectors are warm.
+  template <typename F>
+  void PushClosure(F&& closure) {
     MaybeReserve();
     records_.push_back(Record{nullptr, {closures_.size(), 0, 0, 0}});
-    closures_.push_back(std::move(closure));
+    closures_.push_back(UndoClosure(std::forward<F>(closure)));
   }
 
   // Convenience: restore a trivially-copyable 64-bit slot to its prior value.
@@ -101,7 +224,7 @@ class UndoLog {
   }
 
   std::vector<Record> records_;
-  std::vector<std::function<void()>> closures_;
+  std::vector<UndoClosure> closures_;
 };
 
 }  // namespace vino

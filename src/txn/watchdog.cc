@@ -5,6 +5,7 @@
 
 #include "src/base/context.h"
 #include "src/base/log.h"
+#include "src/base/trace.h"
 
 namespace vino {
 
@@ -61,6 +62,11 @@ void Watchdog::TickLoop() {
       timers_.erase(token);
       ++fires_;
       VINO_LOG_INFO << "watchdog: budget expired for thread " << timer.os_id;
+      // `b` is how far past its deadline the victim was when the tick
+      // noticed (µs): a proxy for watchdog latency vs. tick granularity.
+      VINO_TRACE(trace::Event::kWatchdogFire,
+                 static_cast<uint16_t>(timer.reason), 0, timer.os_id,
+                 now - timer.deadline);
       KernelContext::PostAbortRequest(timer.os_id,
                                       static_cast<int32_t>(timer.reason));
     }

@@ -15,11 +15,13 @@
 #include <span>
 
 #include "src/base/log.h"
+#include "src/base/trace.h"
 #include "src/graft/function_point.h"
 #include "src/sfi/assembler.h"
 #include "src/sfi/misfit.h"
 #include "src/txn/accessor.h"
 #include "src/txn/txn_manager.h"
+#include "src/txn/undo_log.h"
 
 namespace {
 
@@ -122,6 +124,93 @@ TEST_F(AllocTest, SteadyStateNullNativeGraftSafePathIsAllocationFree) {
   }
   EXPECT_EQ(AllocCount() - before, 0u);
   EXPECT_TRUE(point.grafted()) << "graft must not have been removed";
+}
+
+TEST_F(AllocTest, SmallCaptureUndoClosureStaysInline) {
+  uint64_t slot = 0;
+  // 32 bytes of capture: pointer + three words — the documented budget.
+  uint64_t a = 1, b = 2, c = 3;
+  UndoClosure small([&slot, a, b, c] { slot = a + b + c; });
+  EXPECT_TRUE(small.is_inline());
+  small();
+  EXPECT_EQ(slot, 6u);
+
+  // One word over budget: falls back to the heap but still runs.
+  uint64_t d = 4;
+  UndoClosure big([&slot, a, b, c, d] { slot = a + b + c + d; });
+  EXPECT_FALSE(big.is_inline());
+  UndoClosure moved(std::move(big));
+  moved();
+  EXPECT_EQ(slot, 10u);
+}
+
+TEST_F(AllocTest, SteadyStateClosureUndoAbortIsAllocationFree) {
+  // PushClosure with an inline-eligible capture: once the record and closure
+  // vectors are warm, a capture-carrying abort path performs zero
+  // allocations (the PR-3 small-buffer optimization).
+  uint64_t slot = 0;
+  const auto run_once = [&] {
+    Transaction* txn = txn_.Begin();
+    TxnMutate([&] { slot = 1; }, [&slot] { slot = 0; });
+    TxnOnAbort([&slot] { slot += 0; });
+    txn_.Abort(txn, Status::kTxnAborted);
+  };
+  for (int i = 0; i < 8; ++i) {
+    run_once();
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    run_once();
+    ASSERT_EQ(slot, 0u);
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+}
+
+TEST_F(AllocTest, TracingEnabledSafePathIsAllocationFree) {
+  // The flight recorder's own hot path: with tracing ON, a warmed safe path
+  // (ring allocated on the thread's first post, histogram and cost-model
+  // shards are plain atomics) still performs zero allocations.
+  trace::SetEnabled(true);
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 7; },
+      FunctionGraftPoint::Config{}, &txn_, &host_, nullptr);
+  ASSERT_EQ(point.Replace(std::make_shared<Graft>(
+                "null-native",
+                [](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+                  return 0ull;
+                },
+                kRoot)),
+            Status::kOk);
+  for (int i = 0; i < 8; ++i) {
+    (void)point.Invoke({});  // Warm slab, stats shard, and trace ring.
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    (void)point.Invoke({});
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+  trace::SetEnabled(false);
+}
+
+TEST_F(AllocTest, TracingEnabledAbortPathIsAllocationFree) {
+  // The traced abort path adds clock reads, the abort-cost model, the abort
+  // latency histogram, and a kTxnAbort record — none of which may allocate.
+  trace::SetEnabled(true);
+  uint64_t slot = 0;
+  for (int i = 0; i < 8; ++i) {
+    Transaction* txn = txn_.Begin();
+    TxnSet(&slot, uint64_t{1});
+    txn_.Abort(txn, Status::kTxnAborted);
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    Transaction* txn = txn_.Begin();
+    TxnSet(&slot, uint64_t{1});
+    txn_.Abort(txn, Status::kTxnAborted);
+    ASSERT_EQ(slot, 0u);
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+  trace::SetEnabled(false);
 }
 
 TEST_F(AllocTest, SteadyStateNullProgramGraftSafePathIsAllocationFree) {

@@ -1,28 +1,45 @@
 #!/usr/bin/env python3
-"""Diff two benchmark JSON runs with a regression threshold.
+"""Diff two benchmark JSON runs with a statistically-aware regression gate.
 
 Inputs are either raw google-benchmark JSON reports (as produced by
-`bench_wrapper --json=FILE`) or a flat {"BM_Name": nanoseconds} map (the
-format BENCH_PR2.json snapshots use). Benchmarks are matched by name;
-real_time is compared.
+`bench_wrapper --json=FILE`, with or without --benchmark_repetitions) or a
+flat {"BM_Name": nanoseconds} map (the format BENCH_PR2.json snapshots
+use). Benchmarks are matched by name; real_time means are compared.
+
+When a report carries repetition aggregates (mean/stddev), or enough raw
+repetitions to compute them, a regression is flagged only when it is both
+over --threshold percent AND statistically significant: the mean delta must
+exceed --sigmas standard errors of the difference. Runs without spread
+information fall back to the plain threshold.
 
   tools/bench_compare.py old.json new.json
-  tools/bench_compare.py --threshold 15 old.json new.json
+  tools/bench_compare.py --threshold 15 --sigmas 3 old.json new.json
   tools/bench_compare.py --warn-only BENCH_PR2.json#bench_txn.after new.json
 
 A `FILE#dotted.path` selector digs into a composite JSON file (used to
 compare against the committed BENCH_PR2.json snapshot). Exit status is 1 if
-any matched benchmark regressed by more than --threshold percent (unless
---warn-only), 2 on usage/parse errors.
+any matched benchmark regressed (unless --warn-only), 2 on usage/parse
+errors.
 """
 
 import argparse
 import json
+import math
+import statistics
 import sys
 
 
-def load_times(spec):
-    """Returns {benchmark name: real_time in ns} from FILE or FILE#path."""
+def _scale_for(entry, path):
+    unit = entry.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+    if scale is None:
+        sys.exit(f"bench_compare: unknown time_unit '{unit}' in {path}")
+    return scale
+
+
+def load_stats(spec):
+    """Returns {name: {"mean": ns, "stddev": ns|None, "n": reps}} from
+    FILE or FILE#path."""
     path, _, selector = spec.partition("#")
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -33,22 +50,73 @@ def load_times(spec):
         if not isinstance(data, dict) or key not in data:
             sys.exit(f"bench_compare: selector '{selector}' not in {path}")
         data = data[key]
+
     if isinstance(data, dict) and "benchmarks" in data:  # google-benchmark
-        times = {}
+        aggregates = {}  # base name -> {"mean": ns, "stddev": ns}
+        raw = {}  # base name -> [ns, ...] (one entry per repetition)
         for b in data["benchmarks"]:
+            scale = _scale_for(b, path)
             if b.get("run_type") == "aggregate":
-                continue
-            unit = b.get("time_unit", "ns")
-            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
-            if scale is None:
-                sys.exit(f"bench_compare: unknown time_unit '{unit}' in {path}")
-            times[b["name"]] = float(b["real_time"]) * scale
-        return times
+                agg = b.get("aggregate_name")
+                if agg not in ("mean", "stddev"):
+                    continue  # median/cv/user-defined: not needed here.
+                base = b.get("run_name") or b["name"].rsplit("_", 1)[0]
+                aggregates.setdefault(base, {})[agg] = (
+                    float(b["real_time"]) * scale
+                )
+            else:
+                base = b.get("run_name", b["name"])
+                raw.setdefault(base, []).append(float(b["real_time"]) * scale)
+
+        stats = {}
+        for base, reps in raw.items():
+            agg = aggregates.get(base, {})
+            if "mean" in agg:  # Repetition aggregates: the authoritative pair.
+                stats[base] = {
+                    "mean": agg["mean"],
+                    "stddev": agg.get("stddev"),
+                    "n": max(len(reps), 1),
+                }
+            elif len(reps) > 1:  # Raw repetitions: compute our own spread.
+                stats[base] = {
+                    "mean": statistics.fmean(reps),
+                    "stddev": statistics.stdev(reps),
+                    "n": len(reps),
+                }
+            else:  # Single run: point estimate, no spread.
+                stats[base] = {"mean": reps[0], "stddev": None, "n": 1}
+        # Aggregate-only reports (--benchmark_report_aggregates_only).
+        for base, agg in aggregates.items():
+            if base not in stats and "mean" in agg:
+                stats[base] = {
+                    "mean": agg["mean"],
+                    "stddev": agg.get("stddev"),
+                    "n": 1,
+                }
+        if stats:
+            return stats
+        sys.exit(f"bench_compare: no benchmarks in {spec}")
     if isinstance(data, dict) and all(
         isinstance(v, (int, float)) for v in data.values()
     ):
-        return {k: float(v) for k, v in data.items()}  # flat snapshot map
+        return {  # flat snapshot map: point estimates
+            k: {"mean": float(v), "stddev": None, "n": 1}
+            for k, v in data.items()
+        }
     sys.exit(f"bench_compare: {spec} is neither a gbench report nor a flat map")
+
+
+def significant(old, new, sigmas):
+    """True when the mean difference exceeds `sigmas` standard errors; None
+    when either side lacks spread information (caller falls back to the
+    plain threshold)."""
+    so, sn = old["stddev"], new["stddev"]
+    if so is None or sn is None:
+        return None
+    se = math.sqrt(so * so / max(old["n"], 1) + sn * sn / max(new["n"], 1))
+    if se == 0.0:
+        return new["mean"] != old["mean"]
+    return (new["mean"] - old["mean"]) > sigmas * se
 
 
 def main():
@@ -60,7 +128,15 @@ def main():
         type=float,
         default=25.0,
         metavar="PCT",
-        help="max tolerated real_time increase in percent (default 25)",
+        help="max tolerated real_time mean increase in percent (default 25)",
+    )
+    parser.add_argument(
+        "--sigmas",
+        type=float,
+        default=2.0,
+        metavar="Z",
+        help="standard errors of difference a regression must also exceed "
+        "when both runs carry stddev (default 2)",
     )
     parser.add_argument(
         "--warn-only",
@@ -69,23 +145,39 @@ def main():
     )
     args = parser.parse_args()
 
-    old = load_times(args.old)
-    new = load_times(args.new)
+    old = load_stats(args.old)
+    new = load_stats(args.new)
     common = [name for name in old if name in new]
     if not common:
         sys.exit("bench_compare: no common benchmarks between the two runs")
+
+    def fmt(s):
+        if s["stddev"] is None:
+            return f"{s['mean']:12.1f}"
+        return f"{s['mean']:12.1f} ±{s['stddev']:8.1f}"
 
     width = max(len(n) for n in common)
     regressions = []
     print(f"{'benchmark'.ljust(width)}  {'old ns':>12}  {'new ns':>12}  delta")
     for name in common:
         o, n = old[name], new[name]
-        delta = (n - o) / o * 100.0 if o > 0 else 0.0
+        delta = (
+            (n["mean"] - o["mean"]) / o["mean"] * 100.0
+            if o["mean"] > 0
+            else 0.0
+        )
         flag = ""
         if delta > args.threshold:
-            flag = "  REGRESSION"
-            regressions.append((name, delta))
-        print(f"{name.ljust(width)}  {o:12.1f}  {n:12.1f}  {delta:+7.1f}%{flag}")
+            sig = significant(o, n, args.sigmas)
+            if sig is None:  # No spread info: threshold alone decides.
+                flag = "  REGRESSION"
+                regressions.append((name, delta))
+            elif sig:
+                flag = "  REGRESSION (significant)"
+                regressions.append((name, delta))
+            else:
+                flag = "  over threshold but within noise"
+        print(f"{name.ljust(width)}  {fmt(o)}  {fmt(n)}  {delta:+7.1f}%{flag}")
 
     only_old = sorted(set(old) - set(new))
     only_new = sorted(set(new) - set(old))

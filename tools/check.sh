@@ -4,9 +4,12 @@
 #   2. flaky-dispatch guard: robustness_test repeated 20x until-fail (the
 #      mixed sync/async event case was an 18/20 flake before the worker
 #      pool; any regression shows up here),
-#   3. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
-#      races (Drain vs DispatchAsync, pool lifecycle, txn locks) fail CI
-#      instead of shipping.
+#   3. flight recorder live: the whole suite re-run with VINO_TRACE=1 (every
+#      instrumentation site exercised with the ring hot) plus a graftstat
+#      --json smoke test,
+#   4. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
+#      races (Drain vs DispatchAsync, pool lifecycle, txn locks, ring
+#      snapshot-during-write) fail CI instead of shipping.
 #
 # Usage: tools/check.sh [--fast] [--bench]
 #   --fast   skip the sanitizer stage (normal build + tests + flake guard).
@@ -28,14 +31,27 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/3] build + full test suite =="
+echo "== [1/4] build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/3] flaky-dispatch guard: robustness_test x20 =="
+echo "== [2/4] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
+
+echo "== [3/4] flight recorder live: suite with VINO_TRACE=1 + graftstat =="
+VINO_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+build/tools/graftstat --json --invocations 500 | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert d["txn"]["aborts"] > 0, "abort-heavy run produced no aborts"
+assert d["abort_cost_global"]["valid"], "abort-cost fit did not converge"
+assert d["trace"]["records"] > 0, "flight recorder captured nothing"
+assert any(g["aborts"] > 0 for g in d["grafts"]), "no per-graft aborts"
+aborts, records = d["txn"]["aborts"], d["trace"]["records"]
+print(f"graftstat --json smoke: ok ({aborts} aborts, {records} records)")
+'
 
 if [[ "$BENCH" == "1" ]]; then
   echo "== [bench] wrapper/txn micros vs BENCH_PR2.json (warn-only) =="
@@ -48,18 +64,18 @@ if [[ "$BENCH" == "1" ]]; then
 fi
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [3/3] skipped (--fast) =="
+  echo "== [4/4] skipped (--fast) =="
   exit 0
 fi
 
-echo "== [3/3] ThreadSanitizer: concurrency-heavy tests =="
+echo "== [4/4] ThreadSanitizer: concurrency-heavy tests =="
 cmake -B build-tsan -S . -DVINO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSAN_OPTIONS: fail the test process on the first report; tools/tsan.supp
 # silences libstdc++ _Sp_atomic false positives (see that file).
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
   ctest --test-dir build-tsan \
-  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test' \
+  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test' \
   --output-on-failure -j "$JOBS"
 
 echo "All checks passed."

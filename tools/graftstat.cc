@@ -1,0 +1,257 @@
+// graftstat: runs an abort-heavy graft workload with the flight recorder
+// live and reports what the observability layer measured.
+//
+// This is the paper's §4.5 experiment as a tool: grafts that hold L locks
+// and push G undo records, then abort, give the abort-cost model enough
+// variance to fit cost = a + b·L + c·G per graft and kernel-wide. The
+// report also includes the flight-recorder event counts, txn-manager
+// commit/abort latency quantiles, and the invocation-path histogram.
+//
+// Usage: graftstat [--json] [--invocations N]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/base/histogram.h"
+#include "src/base/trace.h"
+#include "src/graft/graft.h"
+#include "src/graft/invocation.h"
+#include "src/txn/accessor.h"
+#include "src/txn/txn_lock.h"
+#include "src/txn/txn_manager.h"
+
+namespace {
+
+using vino::AbortCostModel;
+using vino::Graft;
+using vino::GraftIdentity;
+using vino::LatencyHistogram;
+using vino::MemoryImage;
+using vino::Status;
+using vino::TxnLock;
+using vino::TxnManager;
+
+// Undo closures mutate this so the replay work is real, not optimized away.
+volatile uint64_t g_undo_sink = 0;
+
+// A native graft that acquires args[0] locks, registers args[1] undo
+// records, then aborts (args[2] != 0) or commits.
+vino::Result<uint64_t> Misbehave(std::span<const uint64_t> args,
+                                 std::vector<std::unique_ptr<TxnLock>>* locks,
+                                 MemoryImage*) {
+  const uint64_t want_locks = args.size() > 0 ? args[0] : 0;
+  const uint64_t want_undo = args.size() > 1 ? args[1] : 0;
+  const bool abort = args.size() > 2 && args[2] != 0;
+  for (uint64_t i = 0; i < want_locks && i < locks->size(); ++i) {
+    if (!IsOk((*locks)[i]->Acquire())) {
+      return Status::kTxnAborted;
+    }
+  }
+  for (uint64_t i = 0; i < want_undo; ++i) {
+    vino::TxnOnAbort([] { g_undo_sink = g_undo_sink + 1; });
+  }
+  if (abort) {
+    return Status::kTxnAborted;
+  }
+  return uint64_t{42};
+}
+
+struct Quantiles {
+  uint64_t p50, p95, p99;
+  double mean;
+};
+
+Quantiles Read(const LatencyHistogram& h) {
+  return {h.QuantileNs(0.50), h.QuantileNs(0.95), h.QuantileNs(0.99),
+          h.MeanNs()};
+}
+
+void PrintFitText(const char* label, const AbortCostModel::Fitted& fit) {
+  if (!fit.valid) {
+    std::printf("  %-14s (no abort samples)\n", label);
+    return;
+  }
+  std::printf(
+      "  %-14s cost ≈ %.1f + %.1f·L + %.1f·G µs   "
+      "(n=%" PRIu64 ", mean L=%.1f G=%.1f cost=%.1f µs)\n",
+      label, fit.a_ns / 1e3, fit.b_ns / 1e3, fit.c_ns / 1e3, fit.samples,
+      fit.mean_locks, fit.mean_undo, fit.mean_cost_ns / 1e3);
+}
+
+void PrintFitJson(const AbortCostModel::Fitted& fit) {
+  std::printf(
+      "{\"valid\": %s, \"a_ns\": %.1f, \"b_ns\": %.1f, \"c_ns\": %.1f, "
+      "\"samples\": %" PRIu64 ", \"mean_locks\": %.2f, \"mean_undo\": %.2f, "
+      "\"mean_cost_ns\": %.1f}",
+      fit.valid ? "true" : "false", fit.a_ns, fit.b_ns, fit.c_ns, fit.samples,
+      fit.mean_locks, fit.mean_undo, fit.mean_cost_ns);
+}
+
+void PrintQuantilesJson(const Quantiles& q) {
+  std::printf("{\"p50_ns\": %" PRIu64 ", \"p95_ns\": %" PRIu64
+              ", \"p99_ns\": %" PRIu64 ", \"mean_ns\": %.1f}",
+              q.p50, q.p95, q.p99, q.mean);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  uint64_t invocations = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--invocations") == 0 && i + 1 < argc) {
+      invocations = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "usage: graftstat [--json] [--invocations N]\n");
+      return 2;
+    }
+  }
+
+  vino::trace::SetEnabled(true);
+
+  TxnManager txn_manager;
+  std::vector<std::unique_ptr<TxnLock>> locks;
+  for (int i = 0; i < 8; ++i) {
+    locks.push_back(std::make_unique<TxnLock>("graftstat.lock" + std::to_string(i)));
+  }
+
+  // Three abort-prone grafts with distinct (L, G) profiles — the variance
+  // the least-squares fit needs — plus one that commits.
+  struct Profile {
+    const char* name;
+    uint64_t base_locks;
+    uint64_t base_undo;
+    bool aborts;
+  };
+  const Profile profiles[] = {
+      {"lock-hoarder", 5, 2, true},
+      {"undo-spammer", 1, 24, true},
+      {"mixed-misbehaver", 3, 10, true},
+      {"well-behaved", 1, 4, false},
+  };
+  std::vector<std::shared_ptr<Graft>> grafts;
+  for (const Profile& p : profiles) {
+    grafts.push_back(std::make_shared<Graft>(
+        p.name,
+        [&locks](std::span<const uint64_t> args, MemoryImage* image) {
+          return Misbehave(args, &locks, image);
+        },
+        GraftIdentity{1000, false}));
+  }
+
+  LatencyHistogram invoke_latency;
+  vino::InvocationParams params;
+  params.latency = &invoke_latency;
+
+  for (uint64_t i = 0; i < invocations; ++i) {
+    const Profile& p = profiles[i % std::size(profiles)];
+    const auto& graft = grafts[i % std::size(grafts)];
+    // Jitter L and G around the profile's base so neither predictor is
+    // constant (a constant column is degenerate and fits to zero).
+    const uint64_t args[3] = {p.base_locks + i % 3,
+                              p.base_undo + (i / 2) % 5,
+                              p.aborts ? uint64_t{1} : uint64_t{0}};
+    (void)RunGraftInvocation(txn_manager, nullptr, graft, args, params);
+  }
+
+  // ---- Collect --------------------------------------------------------
+  vino::trace::SnapshotStats snap_stats;
+  const std::vector<vino::trace::TaggedRecord> records =
+      vino::trace::Snapshot(&snap_stats);
+  std::map<std::string, uint64_t> event_counts;
+  for (const auto& r : records) {
+    event_counts[std::string(vino::trace::EventName(
+        static_cast<vino::trace::Event>(r.record.event)))]++;
+  }
+
+  const vino::TxnStats txn = txn_manager.stats();
+  const Quantiles invoke_q = Read(invoke_latency);
+  const Quantiles commit_q = Read(txn_manager.commit_latency());
+  const Quantiles abort_q = Read(txn_manager.abort_latency());
+  const AbortCostModel::Fitted global_fit = txn_manager.abort_cost().Fit();
+
+  // ---- Report ---------------------------------------------------------
+  if (json) {
+    std::printf("{\n  \"invocations\": %" PRIu64 ",\n", invocations);
+    std::printf("  \"txn\": {\"begins\": %" PRIu64 ", \"commits\": %" PRIu64
+                ", \"aborts\": %" PRIu64 "},\n",
+                txn.begins, txn.commits, txn.aborts);
+    std::printf("  \"trace\": {\"records\": %" PRIu64 ", \"dropped\": %" PRIu64
+                ", \"rings\": %" PRIu64 ", \"events\": {",
+                snap_stats.records, snap_stats.dropped, snap_stats.rings);
+    bool first = true;
+    for (const auto& [name, count] : event_counts) {
+      std::printf("%s\"%s\": %" PRIu64, first ? "" : ", ", name.c_str(), count);
+      first = false;
+    }
+    std::printf("}},\n");
+    std::printf("  \"latency\": {\"invoke\": ");
+    PrintQuantilesJson(invoke_q);
+    std::printf(", \"commit\": ");
+    PrintQuantilesJson(commit_q);
+    std::printf(", \"abort\": ");
+    PrintQuantilesJson(abort_q);
+    std::printf("},\n");
+    std::printf("  \"abort_cost_global\": ");
+    PrintFitJson(global_fit);
+    std::printf(",\n  \"grafts\": [\n");
+    for (size_t i = 0; i < grafts.size(); ++i) {
+      const auto& g = grafts[i];
+      std::printf("    {\"name\": \"%s\", \"trace_id\": %" PRIu64
+                  ", \"invocations\": %" PRIu64 ", \"aborts\": %" PRIu64
+                  ", \"abort_cost\": ",
+                  g->name().c_str(), g->trace_id(), g->invocations(),
+                  g->aborts());
+      PrintFitJson(g->abort_cost().Fit());
+      std::printf("}%s\n", i + 1 < grafts.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("graftstat: %" PRIu64 " invocations, flight recorder live\n\n",
+              invocations);
+  std::printf("transactions: %" PRIu64 " begun, %" PRIu64 " committed, %" PRIu64
+              " aborted\n\n",
+              txn.begins, txn.commits, txn.aborts);
+
+  std::printf("flight recorder: %" PRIu64 " records (%" PRIu64
+              " dropped to wrap-around, %" PRIu64 " rings)\n",
+              snap_stats.records, snap_stats.dropped, snap_stats.rings);
+  for (const auto& [name, count] : event_counts) {
+    std::printf("  %-16s %" PRIu64 "\n", name.c_str(), count);
+  }
+  std::printf("\n");
+
+  std::printf("latency (ns, bucket upper bounds):\n");
+  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
+              " mean=%.0f\n",
+              "invoke", invoke_q.p50, invoke_q.p95, invoke_q.p99,
+              invoke_q.mean);
+  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
+              " mean=%.0f\n",
+              "commit", commit_q.p50, commit_q.p95, commit_q.p99,
+              commit_q.mean);
+  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
+              " mean=%.0f\n\n",
+              "abort", abort_q.p50, abort_q.p95, abort_q.p99, abort_q.mean);
+
+  std::printf("abort-cost model (paper §4.5: cost = a + b·L + c·G):\n");
+  PrintFitText("kernel-wide", global_fit);
+  std::printf("\nper-graft:\n");
+  std::printf("  %-18s %12s %8s\n", "graft", "invocations", "aborts");
+  for (const auto& g : grafts) {
+    std::printf("  %-18s %12" PRIu64 " %8" PRIu64 "\n", g->name().c_str(),
+                g->invocations(), g->aborts());
+    PrintFitText("", g->abort_cost().Fit());
+  }
+  return 0;
+}
