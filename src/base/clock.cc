@@ -44,4 +44,77 @@ double CyclesPerMicro() {
   return cached;
 }
 
+namespace {
+
+uint64_t SteadyNowNs() {
+  const auto d = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// Unserialized TSC read: the coarse clock accepts a few instructions of
+// reorder slop in exchange for skipping rdtscp's serialization cost.
+uint64_t ReadTscFast() { return __rdtsc(); }
+
+// Two-point scale of the TSC against the steady clock, anchored so coarse
+// readings continue the steady clock's epoch. ns_per_cycle == 0 marks a TSC
+// calibration could not trust; CoarseNowNs then uses the steady clock.
+struct TscAnchor {
+  uint64_t base_cycles = 0;
+  uint64_t base_ns = 0;
+  double ns_per_cycle = 0.0;
+};
+
+TscAnchor CalibrateTscAnchor() {
+  const uint64_t c0 = ReadTscFast();
+  const uint64_t n0 = SteadyNowNs();
+  // ~5ms window: comfortably above both clocks' granularity, short enough
+  // that first use (first traced event) does not visibly stall a process.
+  while (SteadyNowNs() - n0 < 5'000'000) {
+  }
+  const uint64_t c1 = ReadTscFast();
+  const uint64_t n1 = SteadyNowNs();
+  if (c1 <= c0 || n1 <= n0) {
+    return {};  // TSC went backwards (no invariant TSC / VM migration).
+  }
+  TscAnchor anchor;
+  anchor.ns_per_cycle =
+      static_cast<double>(n1 - n0) / static_cast<double>(c1 - c0);
+  // Sanity: real TSCs tick between ~100 MHz (old cores, deep power states)
+  // and ~10 GHz. Outside that, the measurement itself is broken.
+  if (anchor.ns_per_cycle < 0.1 || anchor.ns_per_cycle > 10.0) {
+    return {};
+  }
+  anchor.base_cycles = c1;
+  anchor.base_ns = n1;
+  return anchor;
+}
+
+#endif  // x86
+
+}  // namespace
+
+uint64_t CoarseNowNs() {
+#if defined(__x86_64__) || defined(__i386__)
+  // Magic-static: exactly one thread pays the ~5ms calibration; afterwards
+  // the guard is a single acquire load and the path is lock-free.
+  static const TscAnchor anchor = CalibrateTscAnchor();
+  if (anchor.ns_per_cycle != 0.0) {
+    // Signed delta: a reading on a core whose TSC trails the calibration
+    // core's by a hair must clamp to the anchor, not wrap to ~580 years.
+    const int64_t cycles =
+        static_cast<int64_t>(ReadTscFast() - anchor.base_cycles);
+    if (cycles >= 0) {
+      return anchor.base_ns +
+             static_cast<uint64_t>(static_cast<double>(cycles) *
+                                   anchor.ns_per_cycle);
+    }
+    return anchor.base_ns;
+  }
+#endif
+  return SteadyNowNs();
+}
+
 }  // namespace vino

@@ -69,6 +69,22 @@ class SteadyClock final : public Clock {
 // short calibration loop against the steady clock. Cached after first call.
 [[nodiscard]] double CyclesPerMicro();
 
+// Coarse monotonic nanoseconds via a non-serializing rdtsc and a one-shot
+// calibrated scale — roughly 4x cheaper than a steady_clock read, which is
+// what the flight recorder's per-record timestamps want (trace::NowNs).
+//
+// "Coarse" because it trades precision for speed on purpose: the scale is
+// fixed at first use (a few ms of calibration against the steady clock), the
+// rdtsc is unserialized so a reading can be reordered by a few instructions,
+// and values across cores rely on the invariant-TSC sync modern x86 parts
+// provide. Timelines and latency histograms tolerate all three. On non-x86
+// hosts — or if calibration detects a TSC it cannot trust (non-monotonic or
+// implausible frequency) — it falls back to the steady clock transparently.
+//
+// Epoch matches the steady clock's, so coarse and precise readings within a
+// process interleave into one timeline.
+[[nodiscard]] uint64_t CoarseNowNs();
+
 }  // namespace vino
 
 #endif  // VINOLITE_SRC_BASE_CLOCK_H_

@@ -45,13 +45,15 @@ KernelContext& KernelContext::Current() {
   return context;
 }
 
-bool KernelContext::PostAbortRequest(uint64_t os_id, int32_t reason_status_value) {
+bool KernelContext::PostAbortRequest(uint64_t os_id, int32_t reason_status_value,
+                                     uint64_t target_txn_id) {
   std::lock_guard<std::mutex> guard(RegistryMutex());
   const auto it = Registry().find(os_id);
   if (it == Registry().end()) {
     return false;
   }
-  it->second->pending_abort.store(reason_status_value, std::memory_order_release);
+  it->second->pending_abort.store(PackAbort(reason_status_value, target_txn_id),
+                                  std::memory_order_release);
   return true;
 }
 

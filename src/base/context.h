@@ -13,6 +13,14 @@
 // a waiter posts a status flag here under the context registry lock; the
 // owning thread notices it at its next preemption point and aborts its own
 // innermost transaction. This keeps Transaction lifetime single-threaded.
+//
+// Posts carry the id of the transaction the poster meant to kill (or 0 for
+// "whatever is innermost"). Without the tag, a watchdog or lock-timeout fire
+// that lands after its victim already ended — but before the victim's
+// sibling begins — would abort the innocent successor: the post itself
+// cannot expire, so the consumer must be able to tell stale from live. The
+// consumer (TxnManager) discards a post whose target is no longer in the
+// thread's active transaction chain.
 
 #ifndef VINOLITE_SRC_BASE_CONTEXT_H_
 #define VINOLITE_SRC_BASE_CONTEXT_H_
@@ -47,9 +55,11 @@ struct KernelContext {
   // work, e.g. boot-time setup).
   ResourceAccount* account = nullptr;
 
-  // Pending asynchronous abort, as the int value of a Status; 0 = none.
+  // Pending asynchronous abort, packed into one word so a (reason, target)
+  // pair posts and reads atomically — two racing posters can never be
+  // blended into a request neither of them made. 0 = none; see PackAbort.
   // Posted by other threads via PostAbortRequest, consumed by this thread.
-  std::atomic<int32_t> pending_abort{0};
+  std::atomic<uint64_t> pending_abort{0};
 
   // --- Per-thread Transaction slab (hot-path recycling) ----------------
   // TxnManager::Begin/Commit/Abort recycle Transaction objects through this
@@ -65,25 +75,53 @@ struct KernelContext {
   // The calling OS thread's context. Never null.
   static KernelContext& Current();
 
-  // Posts an abort request to the thread with the given os_id. Returns false
-  // if that thread's context no longer exists. `reason_status_value` is the
-  // int value of a vino::Status.
-  static bool PostAbortRequest(uint64_t os_id, int32_t reason_status_value);
+  // --- Abort-request packing -------------------------------------------
+  // [63:16] target transaction id (48 bits — ids are a monotonic counter,
+  //         so wrap is ~10^14 transactions away), [15:0] the Status reason
+  //         as a sign-truncated int16. A packed word of 0 means "no request"
+  //         (reasons are never kOk). Target 0 = any transaction (legacy
+  //         wildcard; used by callers that police a thread, not a txn).
+  struct AbortRequest {
+    int32_t reason = 0;       // Status as int; never 0 in a live request.
+    uint64_t target_txn = 0;  // 0 = innermost, whatever it is.
+  };
+  static constexpr uint64_t PackAbort(int32_t reason, uint64_t target_txn) {
+    return (target_txn << 16) |
+           static_cast<uint16_t>(static_cast<int16_t>(reason));
+  }
+  static constexpr AbortRequest UnpackAbort(uint64_t word) {
+    return AbortRequest{static_cast<int16_t>(word & 0xffff), word >> 16};
+  }
+
+  // Posts an abort request to the thread with the given os_id, aimed at that
+  // thread's transaction `target_txn_id` (0 = whatever is innermost when the
+  // post is consumed). Returns false if that thread's context no longer
+  // exists. `reason_status_value` is the int value of a vino::Status.
+  // A newer post overwrites an unconsumed older one.
+  static bool PostAbortRequest(uint64_t os_id, int32_t reason_status_value,
+                               uint64_t target_txn_id = 0);
 };
 
 // RAII: swaps the current thread's resource account, restoring on exit.
+// The two-argument form takes the already-resolved context so a hot path
+// that has done its one KernelContext::Current() lookup shares it between
+// constructor and destructor (the graft wrapper's account swap is a single
+// pointer exchange each way).
 class ScopedAccount {
  public:
-  explicit ScopedAccount(ResourceAccount* account)
-      : saved_(KernelContext::Current().account) {
-    KernelContext::Current().account = account;
+  ScopedAccount(KernelContext& ctx, ResourceAccount* account)
+      : ctx_(ctx), saved_(ctx.account) {
+    ctx.account = account;
   }
-  ~ScopedAccount() { KernelContext::Current().account = saved_; }
+  explicit ScopedAccount(ResourceAccount* account)
+      : ScopedAccount(KernelContext::Current(), account) {}
+  ~ScopedAccount() { ctx_.account = saved_; }
 
   ScopedAccount(const ScopedAccount&) = delete;
   ScopedAccount& operator=(const ScopedAccount&) = delete;
 
  private:
+  KernelContext& ctx_;
   ResourceAccount* saved_;
 };
 

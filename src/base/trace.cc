@@ -1,7 +1,6 @@
 #include "src/base/trace.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
@@ -76,12 +75,6 @@ std::string_view PathTagName(PathTag tag) {
 
 void SetEnabled(bool enabled) {
   internal::g_enabled.store(enabled, std::memory_order_relaxed);
-}
-
-uint64_t NowNs() {
-  const auto d = std::chrono::steady_clock::now().time_since_epoch();
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
 }
 
 uint64_t Ring::SnapshotInto(std::vector<TaggedRecord>& out) const {

@@ -38,6 +38,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/base/clock.h"
+
 namespace vino {
 namespace trace {
 
@@ -185,10 +187,12 @@ class Ring {
 // load+branch and no clock read.
 void Post(Event event, uint16_t tag, uint32_t a32, uint64_t a, uint64_t b);
 
-// The recorder's clock (host steady clock, ns). For call sites that also
-// measure durations fed to a LatencyHistogram; only read when tracing is
-// enabled.
-[[nodiscard]] uint64_t NowNs();
+// The recorder's clock: coarse calibrated-TSC nanoseconds (steady-clock
+// fallback off x86 — see base/clock.h). For call sites that also measure
+// durations fed to a LatencyHistogram; only read when tracing is enabled.
+// An enabled-mode invocation reads this four times (invoke begin/end, txn
+// begin/commit), which is why it is the cheap clock and inline.
+[[nodiscard]] inline uint64_t NowNs() { return CoarseNowNs(); }
 
 // ---------------------------------------------------------------------------
 // Snapshot / merge.

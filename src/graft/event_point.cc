@@ -18,7 +18,8 @@ EventGraftPoint::EventGraftPoint(std::string name, Config config,
     : name_(std::move(name)),
       config_(config),
       txn_manager_(txn_manager),
-      host_(host) {
+      exec_(host, config_.fuel, config_.poll_interval) {
+  exec_.latency = &handler_latency_;
   if (ns != nullptr) {
     ns->RegisterEvent(this);
   }
@@ -76,13 +77,8 @@ bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
   // The shared safe-path wrapper (graft/invocation.h): txn + account swap +
   // run + commit/abort. Event handlers take no validator and no per-point
   // watchdog; their time bound is the fuel budget.
-  InvocationParams params;
-  params.fuel = config_.fuel;
-  params.poll_interval = config_.poll_interval;
-  params.latency = &handler_latency_;
-
   const InvocationOutcome outcome =
-      RunGraftInvocation(*txn_manager_, host_, graft, args, params);
+      RunGraftInvocation(*txn_manager_, graft, args, exec_);
   if (IsOk(outcome.status)) {
     return true;
   }

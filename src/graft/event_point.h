@@ -54,6 +54,7 @@
 #include "src/base/status.h"
 #include "src/base/worker_pool.h"
 #include "src/graft/graft.h"
+#include "src/graft/invocation.h"
 #include "src/sfi/host.h"
 #include "src/txn/txn_manager.h"
 
@@ -159,7 +160,11 @@ class EventGraftPoint {
   const std::string name_;
   const Config config_;
   TxnManager* txn_manager_;
-  const HostCallTable* host_;
+
+  // The point's pinned execution context (reusable Vm, prebuilt RunOptions):
+  // built once from Config, shared by every handler invocation on every
+  // delivery flavour (the Vm is stateless). See invocation.h.
+  GraftExecContext exec_;
 
   mutable std::mutex mutex_;
   std::vector<Handler> handlers_;  // Sorted by order.

@@ -16,7 +16,11 @@ FunctionGraftPoint::FunctionGraftPoint(std::string name, DefaultFn default_fn,
       default_fn_(std::move(default_fn)),
       config_(std::move(config)),
       txn_manager_(txn_manager),
-      host_(host) {
+      exec_(host, config_.fuel, config_.poll_interval) {
+  exec_.watchdog = config_.watchdog;
+  exec_.wall_budget = config_.wall_budget;
+  exec_.validator = config_.validator ? &config_.validator : nullptr;
+  exec_.latency = &invoke_latency_;
   if (ns != nullptr) {
     ns->RegisterFunction(this);
   }
@@ -94,16 +98,8 @@ uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
                                       std::span<const uint64_t> args) {
   counters_.Add(kGraftRuns);
 
-  InvocationParams params;
-  params.fuel = config_.fuel;
-  params.poll_interval = config_.poll_interval;
-  params.watchdog = config_.watchdog;
-  params.wall_budget = config_.wall_budget;
-  params.validator = config_.validator ? &config_.validator : nullptr;
-  params.latency = &invoke_latency_;
-
   const InvocationOutcome outcome =
-      RunGraftInvocation(*txn_manager_, host_, graft, args, params);
+      RunGraftInvocation(*txn_manager_, graft, args, exec_);
 
   if (!IsOk(outcome.status)) {
     // Aborted (undo replayed, locks released): forcibly remove the graft and

@@ -32,6 +32,7 @@
 #include "src/base/sharded_counter.h"
 #include "src/base/status.h"
 #include "src/graft/graft.h"
+#include "src/graft/invocation.h"
 #include "src/sfi/host.h"
 #include "src/txn/txn_manager.h"
 #include "src/txn/watchdog.h"
@@ -131,7 +132,11 @@ class FunctionGraftPoint {
   DefaultFn default_fn_;
   Config config_;
   TxnManager* txn_manager_;
-  const HostCallTable* host_;
+
+  // The point's pinned execution context (reusable Vm, prebuilt RunOptions):
+  // built once from Config, borrowed by every invocation, shared safely by
+  // concurrent invokers (the Vm is stateless). See invocation.h.
+  GraftExecContext exec_;
 
   std::atomic<std::shared_ptr<Graft>> graft_;
 

@@ -13,10 +13,16 @@
 // strike counting, forcible removal vs. handler removal, per-point stats —
 // stays with the caller, which knows what kind of point it is.
 //
-// Hot-path discipline: a steady-state invocation of this wrapper performs
-// zero heap allocations (recycled transaction, lean undo log, stack Vm,
-// small-buffer std::function for the poll callback); tests/alloc_test.cc
-// asserts it.
+// Hot-path discipline: nothing is constructed per invocation. Each graft
+// point pins one GraftExecContext — a reusable Vm and a prebuilt RunOptions
+// whose abort predicate is a capture-free function pointer — and every
+// invocation borrows it. The Vm is stateless (Run is const; all execution
+// state lives on Run's stack), so concurrent invocations of the same point
+// share the pinned context safely. The thread's KernelContext is resolved
+// once and threaded through the transaction scope, the account swap, and
+// the abort polls. Steady state performs zero heap allocations (recycled
+// transaction, lean undo log); tests/alloc_test.cc asserts it with tracing
+// both off and on.
 
 #ifndef VINOLITE_SRC_GRAFT_INVOCATION_H_
 #define VINOLITE_SRC_GRAFT_INVOCATION_H_
@@ -40,10 +46,27 @@
 
 namespace vino {
 
-struct InvocationParams {
-  // Execution budget for program grafts.
-  uint64_t fuel = 10'000'000;
-  uint32_t poll_interval = 64;
+// Per-graft-point execution context, built once when the point is
+// constructed (or reconfigured) and reused by every invocation. Immutable
+// while invocations are in flight; a point that wants different budgets
+// rebuilds its context outside the hot path.
+struct GraftExecContext {
+  GraftExecContext(const HostCallTable* host, uint64_t fuel = 10'000'000,
+                   uint32_t poll_interval = 64)
+      : vm(host) {
+    options.fuel = fuel;
+    options.poll_interval = poll_interval;
+    // Capture-free: the Vm polls the calling thread's own innermost
+    // transaction, which needs no per-invocation state.
+    options.abort_requested = [](void*) { return TxnManager::AbortPending(); };
+  }
+
+  // Prebuilt execution options for program grafts (POD; shared by all
+  // concurrent invocations of this point).
+  RunOptions options;
+
+  // The pinned interpreter. Stateless — safe to enter concurrently.
+  Vm vm;
 
   // Optional wall-clock budget, enforced by a Watchdog (§4.5). Both fuel
   // and wall budget may be set; whichever trips first aborts.
@@ -87,10 +110,9 @@ struct InvocationOutcome {
 // begin/commit on the same few cache lines (measurably faster than the
 // out-of-line version on the null-graft micro).
 inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
-                                            const HostCallTable* host,
                                             const std::shared_ptr<Graft>& graft,
                                             std::span<const uint64_t> args,
-                                            const InvocationParams& params) {
+                                            const GraftExecContext& exec) {
   graft->CountInvocation();
 
   // Flight recorder (src/base/trace.h): one relaxed load when disabled;
@@ -108,15 +130,18 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
   }
 
   // The wrapper (paper §3.1): begin a transaction, swap in the graft's
-  // resource account, run, commit.
-  TxnScope scope(txn_manager);
-  ScopedAccount account_swap(&graft->account());
+  // resource account, run, commit. One KernelContext lookup serves the
+  // whole invocation; the account swap is a single pointer exchange each
+  // way.
+  KernelContext& kctx = KernelContext::Current();
+  TxnScope scope(txn_manager, kctx);
+  ScopedAccount account_swap(kctx, &graft->account());
 
   // Optional wall-clock budget: the watchdog posts an abort to this thread
   // if the invocation outlives it.
   std::optional<Watchdog::Scope> wall_budget;
-  if (params.watchdog != nullptr && params.wall_budget > 0) {
-    wall_budget.emplace(*params.watchdog, params.wall_budget);
+  if (exec.watchdog != nullptr && exec.wall_budget > 0) {
+    wall_budget.emplace(*exec.watchdog, exec.wall_budget);
   }
 
   InvocationOutcome outcome;
@@ -133,18 +158,13 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
     }
     // Native grafts cannot be preempted mid-run; honour any abort request
     // that arrived while they executed.
-    if (IsOk(failure) && TxnManager::AbortPending()) {
+    if (IsOk(failure) && TxnManager::AbortPending(kctx)) {
       failure = scope.txn()->abort_reason();
     }
   } else {
-    RunOptions options;
-    options.fuel = params.fuel;
-    options.poll_interval = params.poll_interval;
-    options.abort_requested = [] { return TxnManager::AbortPending(); };
-    options.identity =
-        CallerIdentity{graft->owner().uid, graft->owner().privileged};
-    Vm vm(&graft->image(), host);
-    const RunOutcome run = vm.Run(graft->program(), args, options);
+    const RunOutcome run = exec.vm.Run(
+        graft->program(), &graft->image(), args, exec.options,
+        CallerIdentity{graft->owner().uid, graft->owner().privileged});
     if (IsOk(run.status)) {
       outcome.value = run.ret;
     } else {
@@ -172,8 +192,8 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
     if (traced) {
       const uint64_t now_ns = trace::NowNs();
       graft->RecordAbortCost(held_locks, undo_len, now_ns - abort_start_ns);
-      if (params.latency != nullptr) {
-        params.latency->Record(now_ns - invoke_start_ns);
+      if (exec.latency != nullptr) {
+        exec.latency->Record(now_ns - invoke_start_ns);
       }
       trace::Post(trace::Event::kInvokeEnd,
                   static_cast<uint16_t>(trace::PathTag::kAbort),
@@ -186,22 +206,33 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
   // Results checking happens inside the transaction window, as in the
   // paper's safe path.
   outcome.result_valid =
-      params.validator == nullptr || !*params.validator ||
-      (*params.validator)(outcome.value, args);
+      exec.validator == nullptr || !*exec.validator ||
+      (*exec.validator)(outcome.value, args);
 
+  // A commit can still turn into an abort (an asynchronous lock time-out
+  // beat us to it). L and G are captured up front while the transaction is
+  // intact so that path keeps its per-graft abort-cost sample — Commit
+  // consumes the transaction either way.
+  uint64_t pre_locks = 0;
+  uint64_t pre_undo = 0;
+  uint64_t commit_start_ns = 0;
+  if (traced) {
+    pre_locks = scope.txn()->lock_count();
+    pre_undo = scope.txn()->undo().size();
+    commit_start_ns = trace::NowNs();
+  }
   const Status commit_status = scope.Commit();
   if (!IsOk(commit_status)) {
-    // An asynchronous abort (lock time-out) beat the commit; Commit already
-    // performed the abort. (TxnManager recorded that abort's L/G/cost in
-    // its global model; the per-graft sample is lost — Commit consumed the
-    // transaction before we could measure.)
     graft->CountAbort();
     outcome.status = commit_status;
   }
   if (traced) {
     const uint64_t now_ns = trace::NowNs();
-    if (params.latency != nullptr) {
-      params.latency->Record(now_ns - invoke_start_ns);
+    if (!IsOk(commit_status)) {
+      graft->RecordAbortCost(pre_locks, pre_undo, now_ns - commit_start_ns);
+    }
+    if (exec.latency != nullptr) {
+      exec.latency->Record(now_ns - invoke_start_ns);
     }
     trace::Post(trace::Event::kInvokeEnd,
                 static_cast<uint16_t>(!IsOk(commit_status)
@@ -209,7 +240,8 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
                                           : (graft->is_native()
                                                  ? trace::PathTag::kUnsafe
                                                  : trace::PathTag::kSafe)),
-                0, graft->trace_id(), now_ns - invoke_start_ns);
+                !IsOk(commit_status) ? static_cast<uint32_t>(pre_locks) : 0,
+                graft->trace_id(), now_ns - invoke_start_ns);
   }
   return outcome;
 }

@@ -24,8 +24,9 @@ uint64_t AccessWidth(Op op) {
 
 }  // namespace
 
-RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
-                   const RunOptions& options) {
+RunOutcome Vm::Run(const Program& program, MemoryImage* image,
+                   std::span<const uint64_t> args, const RunOptions& options,
+                   CallerIdentity identity) const {
   RunOutcome outcome;
   if (program.code.empty()) {
     outcome.status = Status::kBadGraft;
@@ -38,11 +39,11 @@ RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
     regs[i] = args[i];
   }
   if (program.instrumented) {
-    regs[kSandboxMaskReg] = image_->arena_mask();
-    regs[kSandboxBaseReg] = image_->arena_base();
+    regs[kSandboxMaskReg] = image->arena_mask();
+    regs[kSandboxBaseReg] = image->arena_base();
   }
 
-  uint8_t* const mem = image_->data();
+  uint8_t* const mem = image->data();
   const size_t code_size = program.code.size();
   uint64_t fuel = options.fuel;
   uint32_t until_poll = options.poll_interval;
@@ -61,7 +62,8 @@ RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
     ++outcome.instructions;
     if (--until_poll == 0) {
       until_poll = options.poll_interval;
-      if (options.abort_requested && options.abort_requested()) {
+      if (options.abort_requested != nullptr &&
+          options.abort_requested(options.abort_ctx)) {
         outcome.status = Status::kTxnAborted;
         return outcome;
       }
@@ -155,7 +157,7 @@ RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
       case Op::kLd64: {
         const uint64_t addr = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
         const uint64_t width = AccessWidth(ins.op);
-        if (!image_->InBounds(addr, width)) {
+        if (!image->InBounds(addr, width)) {
           // In a real kernel this is a wild read that may fault or return
           // garbage; we surface it as a trap.
           outcome.status = Status::kSfiTrap;
@@ -172,7 +174,7 @@ RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
       case Op::kSt64: {
         const uint64_t addr = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
         const uint64_t width = AccessWidth(ins.op);
-        if (!image_->InBounds(addr, width)) {
+        if (!image->InBounds(addr, width)) {
           outcome.status = Status::kSfiTrap;
           return outcome;
         }
@@ -238,8 +240,8 @@ RunOutcome Vm::Run(const Program& program, std::span<const uint64_t> args,
         for (int i = 0; i < kMaxArgs; ++i) {
           ctx.args[static_cast<size_t>(i)] = regs[i];
         }
-        ctx.image = image_;
-        ctx.identity = options.identity;
+        ctx.image = image;
+        ctx.identity = identity;
         Result<uint64_t> r = entry->fn(ctx);
         if (!r.ok()) {
           outcome.status = r.status();

@@ -16,8 +16,8 @@
 #define VINOLITE_SRC_SFI_VM_H_
 
 #include <cstdint>
-#include <functional>
 #include <span>
+#include <type_traits>
 
 #include "src/base/status.h"
 #include "src/sfi/host.h"
@@ -26,6 +26,11 @@
 
 namespace vino {
 
+// Execution options. Deliberately a trivially-copyable POD: the graft
+// invocation wrapper pre-builds one per graft point and reuses it for every
+// invocation, so nothing here may require per-use construction (which rules
+// out std::function — the abort predicate is a plain function pointer plus
+// an opaque context word).
 struct RunOptions {
   // Instruction budget; exhausting it returns kSfiFuelExhausted.
   uint64_t fuel = 100'000'000;
@@ -33,14 +38,15 @@ struct RunOptions {
   // How often (in instructions) the abort predicate is polled.
   uint32_t poll_interval = 64;
 
-  // If set and returns true, execution stops with kTxnAborted. Wired to the
-  // invoking transaction's abort flag by the graft wrapper.
-  std::function<bool()> abort_requested;
-
-  // Identity passed to every host call (the installing user, §3.3). The
-  // graft wrapper fills this from the graft descriptor.
-  CallerIdentity identity{};
+  // If set and abort_requested(abort_ctx) returns true at a poll, execution
+  // stops with kTxnAborted. Wired to the invoking transaction's abort flag
+  // by the graft wrapper (which needs no context and passes nullptr).
+  bool (*abort_requested)(void* ctx) = nullptr;
+  void* abort_ctx = nullptr;
 };
+static_assert(std::is_trivially_copyable_v<RunOptions>,
+              "RunOptions must stay POD so graft points can pin one per "
+              "point and share it across concurrent invocations");
 
 struct RunOutcome {
   Status status = Status::kOk;
@@ -48,18 +54,37 @@ struct RunOutcome {
   uint64_t instructions = 0;  // Instructions executed.
 };
 
+// The interpreter itself is stateless: all execution state (registers, pc,
+// fuel) lives on Run's stack, and Run is const. A Vm can therefore be
+// pinned once per graft point and entered concurrently from any number of
+// threads — the per-invocation construction the wrapper used to pay is gone.
 class Vm {
  public:
+  // Host-pinned form: the image (and caller identity) vary per run and are
+  // passed to Run — how the graft wrapper drives a per-point Vm whose graft
+  // (and thus arena image) can change.
+  explicit Vm(const HostCallTable* host) : host_(host) {}
+
+  // Image-pinned convenience form for tests/tools that run one program
+  // against one image.
   Vm(MemoryImage* image, const HostCallTable* host) : image_(image), host_(host) {}
 
-  // Executes `program` with `args` in r0..r5. The program must pass
-  // VerifyProgram (callers that skip verification get kSfiBadOpcode /
-  // kSfiTrap at runtime rather than UB).
+  // Executes `program` with `args` in r0..r5, confined to `image`.
+  // `identity` is passed to every host call (the installing user, §3.3).
+  // The program must pass VerifyProgram (callers that skip verification get
+  // kSfiBadOpcode / kSfiTrap at runtime rather than UB).
+  RunOutcome Run(const Program& program, MemoryImage* image,
+                 std::span<const uint64_t> args, const RunOptions& options,
+                 CallerIdentity identity = {}) const;
+
+  // Image-pinned form over the constructor-supplied image.
   RunOutcome Run(const Program& program, std::span<const uint64_t> args,
-                 const RunOptions& options = {});
+                 const RunOptions& options = {}) const {
+    return Run(program, image_, args, options);
+  }
 
  private:
-  MemoryImage* image_;
+  MemoryImage* image_ = nullptr;
   const HostCallTable* host_;
 };
 

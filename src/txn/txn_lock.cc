@@ -6,6 +6,8 @@
 #include "src/base/context.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_manager.h"
 
 namespace vino {
 
@@ -25,7 +27,7 @@ Status TxnLock::Acquire() {
   }
 
   const Micros wait_start = SteadyClock::Instance().NowMicros();
-  bool timeout_fired = false;
+  Micros window_start = wait_start;
   bool contend_posted = false;
 
   while (HeldLocked()) {
@@ -40,10 +42,9 @@ Status TxnLock::Acquire() {
     // A waiter whose own transaction is doomed must unwind, not block: its
     // abort is what releases *its* locks and lets the system make progress
     // (Rule 9). This is also how deadlock cycles drain once a time-out has
-    // picked a victim.
-    if (my_txn != nullptr &&
-        (my_txn->abort_requested() ||
-         ctx.pending_abort.load(std::memory_order_acquire) != 0)) {
+    // picked a victim. AbortPending is the chain-aware check — a stale post
+    // aimed at a transaction that already ended does not doom this waiter.
+    if (my_txn != nullptr && TxnManager::AbortPending(ctx)) {
       return Status::kTxnAborted;
     }
 
@@ -52,21 +53,30 @@ Status TxnLock::Acquire() {
     if (!HeldLocked()) {
       break;
     }
-    const Micros waited = SteadyClock::Instance().NowMicros() - wait_start;
-    if (!timeout_fired && waited >= options_.contention_timeout) {
+    const Micros now = SteadyClock::Instance().NowMicros();
+    const Micros waited = now - window_start;
+    if (waited >= options_.contention_timeout) {
       // Paper §3.2: "If the time-out on a lock expires, and the lock is held
       // by a thread that is executing a transaction, we abort that
-      // transaction." We post to the holder's *thread*; its innermost
-      // transaction aborts at the next preemption point even if the lock
-      // was acquired before the graft was invoked.
-      timeout_fired = true;
+      // transaction." We post to the holder's *thread*, tagged with the
+      // owning transaction's id so the request dies with its target: if the
+      // owner ends before consuming it, the post is discarded instead of
+      // aborting whatever the thread runs next. The holder's *innermost*
+      // transaction aborts at its next preemption point even when the lock
+      // belongs to an outer one (the chain unwinds level by level: the
+      // window re-arms below, and each re-expiry posts against whoever
+      // still holds the lock). Reading owner_txn_ here is race-free:
+      // release clears it under this same mutex before the transaction
+      // object can be recycled.
+      window_start = now;
       ++timeout_fires_;
       VINO_LOG_INFO << "lock '" << name_ << "': contention timeout after "
                     << waited << "us; requesting holder abort";
       VINO_TRACE(trace::Event::kLockTimeout, 0, 0,
                  reinterpret_cast<uint64_t>(this), waited);
       KernelContext::PostAbortRequest(
-          owner_os_id_, static_cast<int32_t>(Status::kTxnTimedOut));
+          owner_os_id_, static_cast<int32_t>(Status::kTxnTimedOut),
+          owner_txn_ != nullptr ? owner_txn_->id() : 0);
     }
   }
 

@@ -14,6 +14,34 @@ namespace {
 // of warmed vectors on every thread forever.
 constexpr uint32_t kMaxSlabSize = 32;
 
+// Loads the thread's posted abort request and decides whether it applies to
+// the transaction chain rooted at `innermost`. A live request — wildcard
+// (target 0) or aimed at a transaction still in the chain — is returned as
+// its reason. A stale one, whose target already committed or aborted, is
+// CAS-cleared and ignored so it cannot poison an innocent successor; the CAS
+// (rather than a plain store) keeps a newer post that raced in from being
+// destroyed, and the loop re-evaluates that newer post instead.
+Status LivePostedAbort(KernelContext& ctx, const Transaction* innermost) {
+  uint64_t word = ctx.pending_abort.load(std::memory_order_acquire);
+  while (word != 0) {
+    const KernelContext::AbortRequest req = KernelContext::UnpackAbort(word);
+    if (req.target_txn == 0) {
+      return static_cast<Status>(req.reason);
+    }
+    for (const Transaction* t = innermost; t != nullptr; t = t->parent()) {
+      if (t->id() == req.target_txn) {
+        return static_cast<Status>(req.reason);
+      }
+    }
+    if (ctx.pending_abort.compare_exchange_weak(word, 0,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      return Status::kOk;
+    }
+  }
+  return Status::kOk;
+}
+
 }  // namespace
 
 Transaction* TxnManager::SlabPop(KernelContext& ctx) {
@@ -49,8 +77,7 @@ void TxnManager::SlabDrop(Transaction* head) {
   }
 }
 
-Transaction* TxnManager::Begin() {
-  KernelContext& ctx = KernelContext::Current();
+Transaction* TxnManager::Begin(KernelContext& ctx) {
   if (ctx.txn == nullptr) {
     // A fresh top-level transaction must not inherit an abort request aimed
     // at a previous one: whatever lock that request concerned was released
@@ -72,8 +99,7 @@ Transaction* TxnManager::Begin() {
   return txn;
 }
 
-Status TxnManager::Commit(Transaction* txn) {
-  KernelContext& ctx = KernelContext::Current();
+Status TxnManager::Commit(KernelContext& ctx, Transaction* txn) {
   assert(ctx.txn == txn && "Commit must target the innermost transaction");
 
   // Flight recorder: L/G/id are consumed by the commit (merged, cleared, or
@@ -93,12 +119,12 @@ Status TxnManager::Commit(Transaction* txn) {
   // An asynchronously requested abort (e.g. a waiter timed out on one of our
   // locks) turns the commit into an abort: the requester has judged this
   // transaction a resource hoarder and the paper's contract is that it does
-  // not get to keep its effects.
-  const int32_t posted = ctx.pending_abort.load(std::memory_order_acquire);
-  if (txn->abort_requested() || posted != 0) {
-    const Status reason =
-        txn->abort_requested() ? txn->abort_reason() : static_cast<Status>(posted);
-    Abort(txn, reason);
+  // not get to keep its effects. A post whose target is no longer in the
+  // chain is stale — honouring it here would abort an innocent transaction.
+  const Status posted = LivePostedAbort(ctx, txn);
+  if (txn->abort_requested() || posted != Status::kOk) {
+    const Status reason = txn->abort_requested() ? txn->abort_reason() : posted;
+    Abort(ctx, txn, reason);
     return reason;
   }
 
@@ -141,8 +167,7 @@ Status TxnManager::Commit(Transaction* txn) {
   return Status::kOk;
 }
 
-void TxnManager::Abort(Transaction* txn, Status reason) {
-  KernelContext& ctx = KernelContext::Current();
+void TxnManager::Abort(KernelContext& ctx, Transaction* txn, Status reason) {
   assert(ctx.txn == txn && "Abort must target the innermost transaction");
 
   VINO_LOG_DEBUG << "txn " << txn->id() << " abort: " << StatusName(reason);
@@ -197,8 +222,7 @@ void TxnManager::ReleaseLocks(Transaction* txn) {
   txn->locks_.clear();
 }
 
-bool TxnManager::AbortPending() {
-  KernelContext& ctx = KernelContext::Current();
+bool TxnManager::AbortPending(KernelContext& ctx) {
   Transaction* txn = ctx.txn;
   if (txn == nullptr) {
     // Nothing to abort; drop any stale request so it cannot poison a later
@@ -209,9 +233,12 @@ bool TxnManager::AbortPending() {
   if (txn->abort_requested()) {
     return true;
   }
-  const int32_t posted = ctx.pending_abort.load(std::memory_order_acquire);
-  if (posted != 0) {
-    txn->RequestAbort(static_cast<Status>(posted));
+  const Status posted = LivePostedAbort(ctx, txn);
+  if (posted != Status::kOk) {
+    // A post aimed at an *ancestor* still dooms the innermost transaction:
+    // the chain unwinds one level at a time (each abort clears the request;
+    // the still-blocked waiter re-posts against the next level).
+    txn->RequestAbort(posted);
     return true;
   }
   return false;

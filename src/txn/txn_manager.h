@@ -36,20 +36,30 @@ class TxnManager {
 
   // Begins a transaction on the calling thread. If the thread already has an
   // active transaction this one nests inside it. The new transaction becomes
-  // KernelContext::Current().txn.
-  Transaction* Begin();
+  // ctx.txn. The KernelContext&-taking forms of Begin/Commit/Abort/
+  // AbortPending exist for the graft wrapper, which resolves the thread's
+  // context once per invocation and shares it; `ctx` must be the calling
+  // thread's own context.
+  Transaction* Begin() { return Begin(KernelContext::Current()); }
+  Transaction* Begin(KernelContext& ctx);
 
   // Commits `txn`, which must be the calling thread's innermost transaction.
   //  * nested:    undo stack and locks merge into the parent,
   //  * top-level: locks are released, the undo stack is discarded.
   // If an abort was requested concurrently (e.g. a waiter timed out on a
-  // lock this transaction holds), the commit is refused and the transaction
-  // aborts instead: returns the abort reason.
-  Status Commit(Transaction* txn);
+  // lock this transaction holds — or any transaction below it in the chain),
+  // the commit is refused and the transaction aborts instead: returns the
+  // abort reason. Posted requests aimed at a transaction no longer in the
+  // chain are stale and discarded, not honoured.
+  Status Commit(Transaction* txn) { return Commit(KernelContext::Current(), txn); }
+  Status Commit(KernelContext& ctx, Transaction* txn);
 
   // Aborts `txn`: replays its undo stack LIFO, releases its locks, restores
   // the thread's context to the parent.
-  void Abort(Transaction* txn, Status reason);
+  void Abort(Transaction* txn, Status reason) {
+    Abort(KernelContext::Current(), txn, reason);
+  }
+  void Abort(KernelContext& ctx, Transaction* txn, Status reason);
 
   // The calling thread's innermost active transaction, or null.
   [[nodiscard]] static Transaction* Current() {
@@ -59,10 +69,16 @@ class TxnManager {
   // The preemption-point poll. Checks both the current transaction's abort
   // flag and the thread's asynchronously posted abort request (lock
   // time-outs are delivered to the *thread*; this converts them into an
-  // abort of the innermost transaction). Returns true if the current
-  // transaction must abort. Used by accessor functions, TxnLock waits, and
-  // the sfi Vm's poll callback.
-  [[nodiscard]] static bool AbortPending();
+  // abort of the innermost transaction). A posted request is honoured only
+  // if it targets the innermost transaction, one of its ancestors, or any
+  // transaction (wildcard 0); a request whose target already ended is stale
+  // and discarded so it cannot poison an innocent successor. Returns true if
+  // the current transaction must abort. Used by accessor functions, TxnLock
+  // waits, and the sfi Vm's poll callback.
+  [[nodiscard]] static bool AbortPending() {
+    return AbortPending(KernelContext::Current());
+  }
+  [[nodiscard]] static bool AbortPending(KernelContext& ctx);
 
   [[nodiscard]] TxnStats stats() const;
 
@@ -114,11 +130,17 @@ class TxnManager {
 class TxnScope {
  public:
   explicit TxnScope(TxnManager& manager)
-      : manager_(manager), txn_(manager.Begin()) {}
+      : TxnScope(manager, KernelContext::Current()) {}
+
+  // Context-threading form: `ctx` must be the calling thread's context. The
+  // graft wrapper resolves it once and shares it with the scope, the account
+  // swap, and the abort polls.
+  TxnScope(TxnManager& manager, KernelContext& ctx)
+      : manager_(manager), ctx_(ctx), txn_(manager.Begin(ctx)) {}
 
   ~TxnScope() {
     if (!done_) {
-      manager_.Abort(txn_, Status::kTxnAborted);
+      manager_.Abort(ctx_, txn_, Status::kTxnAborted);
     }
   }
 
@@ -129,16 +151,17 @@ class TxnScope {
 
   Status Commit() {
     done_ = true;
-    return manager_.Commit(txn_);
+    return manager_.Commit(ctx_, txn_);
   }
 
   void Abort(Status reason) {
     done_ = true;
-    manager_.Abort(txn_, reason);
+    manager_.Abort(ctx_, txn_, reason);
   }
 
  private:
   TxnManager& manager_;
+  KernelContext& ctx_;
   Transaction* txn_;
   bool done_ = false;
 };

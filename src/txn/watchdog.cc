@@ -6,6 +6,7 @@
 #include "src/base/context.h"
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/txn/transaction.h"
 
 namespace vino {
 
@@ -22,14 +23,20 @@ Watchdog::~Watchdog() {
 }
 
 uint64_t Watchdog::Arm(Micros budget, Status reason) {
-  return ArmFor(KernelContext::Current().os_id, budget, reason);
+  const KernelContext& ctx = KernelContext::Current();
+  // Bind the timer to the transaction it polices. An untagged post from a
+  // late fire (raced with Disarm) would linger on the thread and abort
+  // whatever transaction begins next; the tag lets the consumer discard it.
+  const uint64_t target = ctx.txn != nullptr ? ctx.txn->id() : 0;
+  return ArmFor(ctx.os_id, budget, reason, target);
 }
 
-uint64_t Watchdog::ArmFor(uint64_t os_id, Micros budget, Status reason) {
+uint64_t Watchdog::ArmFor(uint64_t os_id, Micros budget, Status reason,
+                          uint64_t target_txn) {
   const Micros deadline = SteadyClock::Instance().NowMicros() + budget;
   std::lock_guard<std::mutex> guard(mutex_);
   const uint64_t token = next_token_++;
-  timers_.emplace(token, Timer{os_id, deadline, reason});
+  timers_.emplace(token, Timer{os_id, deadline, reason, target_txn});
   return token;
 }
 
@@ -68,7 +75,8 @@ void Watchdog::TickLoop() {
                  static_cast<uint16_t>(timer.reason), 0, timer.os_id,
                  now - timer.deadline);
       KernelContext::PostAbortRequest(timer.os_id,
-                                      static_cast<int32_t>(timer.reason));
+                                      static_cast<int32_t>(timer.reason),
+                                      timer.target_txn);
     }
   }
 }

@@ -36,11 +36,15 @@ class Watchdog {
 
   // Arms a timer for the calling thread's current kernel context: if not
   // disarmed within `budget`, an abort request (with `reason`) is posted to
-  // that thread. Returns a token for Disarm.
+  // that thread, tagged with the thread's innermost transaction at arm time
+  // so a late fire cannot abort a successor transaction. Returns a token
+  // for Disarm.
   uint64_t Arm(Micros budget, Status reason = Status::kTxnTimedOut);
 
-  // Arms on behalf of another thread (by context os id).
-  uint64_t ArmFor(uint64_t os_id, Micros budget, Status reason);
+  // Arms on behalf of another thread (by context os id). `target_txn` tags
+  // the eventual post (0 = whatever transaction is innermost at fire time).
+  uint64_t ArmFor(uint64_t os_id, Micros budget, Status reason,
+                  uint64_t target_txn = 0);
 
   // Cancels a timer. Safe to call after expiry (no-op).
   void Disarm(uint64_t token);
@@ -67,6 +71,7 @@ class Watchdog {
     uint64_t os_id;
     Micros deadline;
     Status reason;
+    uint64_t target_txn;  // 0 = untargeted.
   };
 
   void TickLoop();

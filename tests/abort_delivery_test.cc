@@ -1,0 +1,167 @@
+// Regression tests for asynchronous abort delivery (paper §3.2).
+//
+// Two bugs these pin down:
+//  1. Stale cross-thread aborts poisoned sibling nested transactions: a
+//     posted request carried no transaction identity, Begin() cleared the
+//     pending word only at top level, so a watchdog or lock-timeout fire
+//     that landed after its victim ended aborted whatever nested
+//     transaction the thread ran next. Posts are now tagged with the target
+//     transaction id and discarded at consumption when the target is no
+//     longer in the thread's active chain.
+//  2. A commit-time abort (the asynchronous request beating Commit) lost
+//     its per-graft abort-cost sample and posted kInvokeEnd with a lock
+//     count of 0 — the wrapper now captures L and G before Commit() so the
+//     §4.5 model gets one sample per abort on every path.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+
+#include "src/base/context.h"
+#include "src/base/trace.h"
+#include "src/graft/function_point.h"
+#include "src/graft/graft.h"
+#include "src/txn/transaction.h"
+#include "src/txn/txn_lock.h"
+#include "src/txn/txn_manager.h"
+
+namespace vino {
+namespace {
+
+constexpr GraftIdentity kRoot{0, true};
+
+int32_t Reason(Status s) { return static_cast<int32_t>(s); }
+
+TEST(AbortDeliveryTest, StalePostToFinishedSiblingIsDiscarded) {
+  TxnManager manager;
+  KernelContext& ctx = KernelContext::Current();
+  Transaction* outer = manager.Begin();
+  Transaction* a = manager.Begin();
+  const uint64_t a_id = a->id();
+  EXPECT_EQ(manager.Commit(a), Status::kOk);
+
+  // A late lock-timeout / watchdog fire aimed at the already-finished
+  // nested transaction lands now — after its target ended, before the
+  // sibling begins.
+  ASSERT_TRUE(KernelContext::PostAbortRequest(ctx.os_id,
+                                              Reason(Status::kTxnTimedOut),
+                                              a_id));
+
+  // The innocent sibling must not inherit the doom.
+  Transaction* b = manager.Begin();
+  EXPECT_FALSE(TxnManager::AbortPending());
+  EXPECT_FALSE(b->abort_requested());
+  EXPECT_EQ(manager.Commit(b), Status::kOk);
+  EXPECT_EQ(manager.Commit(outer), Status::kOk);
+}
+
+TEST(AbortDeliveryTest, StalePostDoesNotTurnSiblingCommitIntoAbort) {
+  // Same shape, but the sibling goes straight to Commit without passing a
+  // preemption point — the commit-side consumption must discard too.
+  TxnManager manager;
+  KernelContext& ctx = KernelContext::Current();
+  Transaction* outer = manager.Begin();
+  Transaction* a = manager.Begin();
+  const uint64_t a_id = a->id();
+  EXPECT_EQ(manager.Commit(a), Status::kOk);
+  ASSERT_TRUE(KernelContext::PostAbortRequest(ctx.os_id,
+                                              Reason(Status::kTxnTimedOut),
+                                              a_id));
+  Transaction* b = manager.Begin();
+  EXPECT_EQ(manager.Commit(b), Status::kOk);
+  EXPECT_EQ(manager.Commit(outer), Status::kOk);
+  EXPECT_EQ(manager.stats().aborts, 0u);
+}
+
+TEST(AbortDeliveryTest, PostTargetingAncestorAbortsInnermost) {
+  // The paper's semantics: the victim thread aborts its *innermost*
+  // transaction even when the contended lock belongs to an outer one; the
+  // chain unwinds one level per (re-)post.
+  TxnManager manager;
+  KernelContext& ctx = KernelContext::Current();
+  Transaction* outer = manager.Begin();
+  Transaction* inner = manager.Begin();
+  ASSERT_TRUE(KernelContext::PostAbortRequest(ctx.os_id,
+                                              Reason(Status::kTxnTimedOut),
+                                              outer->id()));
+  EXPECT_TRUE(TxnManager::AbortPending());
+  EXPECT_EQ(inner->abort_reason(), Status::kTxnTimedOut);
+  manager.Abort(inner, inner->abort_reason());
+
+  // One level unwound; the still-blocked waiter re-posts against the owner.
+  ASSERT_TRUE(KernelContext::PostAbortRequest(ctx.os_id,
+                                              Reason(Status::kTxnTimedOut),
+                                              outer->id()));
+  EXPECT_TRUE(TxnManager::AbortPending());
+  EXPECT_EQ(outer->abort_reason(), Status::kTxnTimedOut);
+  manager.Abort(outer, outer->abort_reason());
+}
+
+TEST(AbortDeliveryTest, WildcardPostStillAbortsInnermost) {
+  // Target 0 keeps the legacy thread-policing semantics: whatever is
+  // innermost when the post is consumed.
+  TxnManager manager;
+  Transaction* txn = manager.Begin();
+  ASSERT_TRUE(KernelContext::PostAbortRequest(KernelContext::Current().os_id,
+                                              Reason(Status::kTxnTimedOut)));
+  EXPECT_TRUE(TxnManager::AbortPending());
+  EXPECT_EQ(txn->abort_reason(), Status::kTxnTimedOut);
+  manager.Abort(txn, txn->abort_reason());
+}
+
+TEST(AbortDeliveryTest, CommitTimeAbortKeepsPerGraftAbortCostSample) {
+  trace::SetEnabled(true);
+
+  TxnManager manager;
+  HostCallTable host;
+  TxnLock lock("attr.lock");
+
+  FunctionGraftPoint::Config config;
+  config.validator = [](uint64_t, std::span<const uint64_t>) {
+    // The validator runs inside the transaction window, after the native
+    // path's abort check and before Commit — the last spot an asynchronous
+    // abort can land. Post one aimed at the current transaction.
+    KernelContext& ctx = KernelContext::Current();
+    KernelContext::PostAbortRequest(ctx.os_id, Reason(Status::kTxnTimedOut),
+                                    ctx.txn->id());
+    return true;
+  };
+  FunctionGraftPoint point(
+      "attr.point", [](std::span<const uint64_t>) -> uint64_t { return 7; },
+      config, &manager, &host, nullptr);
+
+  auto graft = std::make_shared<Graft>(
+      "locker",
+      [&lock](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+        EXPECT_EQ(lock.Acquire(), Status::kOk);  // Held at commit: L = 1.
+        return 0ull;
+      },
+      kRoot);
+  ASSERT_EQ(point.Replace(graft), Status::kOk);
+
+  EXPECT_EQ(point.Invoke({}), 7u);  // Commit became abort; default ran.
+  EXPECT_EQ(graft->aborts(), 1u);
+  EXPECT_FALSE(lock.held());
+
+  // The per-graft §4.5 model gained exactly one sample, with L = 1.
+  const AbortCostModel::Fitted fit = graft->abort_cost().Fit();
+  EXPECT_EQ(fit.samples, 1u);
+  EXPECT_DOUBLE_EQ(fit.mean_locks, 1.0);
+
+  // The kInvokeEnd record reports the abort path with the lock count.
+  bool found = false;
+  for (const trace::TaggedRecord& tr : trace::Snapshot()) {
+    if (tr.record.event == static_cast<uint16_t>(trace::Event::kInvokeEnd) &&
+        tr.record.tag == static_cast<uint16_t>(trace::PathTag::kAbort) &&
+        tr.record.a == graft->trace_id()) {
+      EXPECT_EQ(tr.record.a32, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  trace::SetEnabled(false);
+}
+
+}  // namespace
+}  // namespace vino

@@ -240,5 +240,36 @@ TEST_F(AllocTest, SteadyStateNullProgramGraftSafePathIsAllocationFree) {
   EXPECT_TRUE(point.grafted()) << "graft must not have been removed";
 }
 
+TEST_F(AllocTest, TracingEnabledProgramGraftSafePathIsAllocationFree) {
+  // The pinned-Vm program path with the flight recorder live: per-point
+  // execution context (no per-invocation RunOptions/Vm construction), the
+  // single cached-context account swap, four TSC clock reads, and four ring
+  // posts — zero allocations once warm.
+  trace::SetEnabled(true);
+  FunctionGraftPoint::Config config;
+  config.validator = [](uint64_t result, std::span<const uint64_t>) {
+    return result == 0;
+  };
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; }, config,
+      &txn_, &host_, nullptr);
+  Asm a("null");
+  a.Halt();
+  Result<Program> inst = Instrument(*a.Finish());
+  ASSERT_TRUE(inst.ok());
+  ASSERT_EQ(point.Replace(std::make_shared<Graft>("null", *inst, kRoot, 4096)),
+            Status::kOk);
+  for (int i = 0; i < 8; ++i) {
+    (void)point.Invoke({});  // Warm slab, stats shard, and trace ring.
+  }
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    (void)point.Invoke({});
+  }
+  EXPECT_EQ(AllocCount() - before, 0u);
+  EXPECT_TRUE(point.grafted()) << "graft must not have been removed";
+  trace::SetEnabled(false);
+}
+
 }  // namespace
 }  // namespace vino

@@ -209,7 +209,10 @@ TEST_F(MisfitVmTest, AbortPollStopsExecution) {
   RunOptions options;
   int polls = 0;
   options.poll_interval = 64;
-  options.abort_requested = [&polls] { return ++polls >= 3; };
+  options.abort_ctx = &polls;
+  options.abort_requested = [](void* ctx) {
+    return ++*static_cast<int*>(ctx) >= 3;
+  };
   const RunOutcome out = vm_.Run(*p, {}, options);
   EXPECT_EQ(out.status, Status::kTxnAborted);
   EXPECT_EQ(out.instructions, 3u * 64u);

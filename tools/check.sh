@@ -9,10 +9,14 @@
 #      --json smoke test,
 #   4. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
 #      races (Drain vs DispatchAsync, pool lifecycle, txn locks, ring
-#      snapshot-during-write) fail CI instead of shipping.
+#      snapshot-during-write) fail CI instead of shipping,
+#   5. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
+#      whose global operator-new counter conflicts with ASan's allocator
+#      interposition), so heap misuse and undefined behaviour in the Vm /
+#      packing / undo-replay paths fail CI too.
 #
 # Usage: tools/check.sh [--fast] [--bench]
-#   --fast   skip the sanitizer stage (normal build + tests + flake guard).
+#   --fast   skip the sanitizer stages (normal build + tests + flake guard).
 #   --bench  also run the wrapper/txn micro-benchmarks and diff them against
 #            the committed BENCH_PR2.json snapshot (warn-only: shared CI
 #            boxes are too noisy for a hard perf gate; read the table).
@@ -31,16 +35,16 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/4] build + full test suite =="
+echo "== [1/5] build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/4] flaky-dispatch guard: robustness_test x20 =="
+echo "== [2/5] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
 
-echo "== [3/4] flight recorder live: suite with VINO_TRACE=1 + graftstat =="
+echo "== [3/5] flight recorder live: suite with VINO_TRACE=1 + graftstat =="
 VINO_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 build/tools/graftstat --json --invocations 500 | python3 -c '
 import json, sys
@@ -64,11 +68,11 @@ if [[ "$BENCH" == "1" ]]; then
 fi
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [4/4] skipped (--fast) =="
+  echo "== [4/5] [5/5] skipped (--fast) =="
   exit 0
 fi
 
-echo "== [4/4] ThreadSanitizer: concurrency-heavy tests =="
+echo "== [4/5] ThreadSanitizer: concurrency-heavy tests =="
 cmake -B build-tsan -S . -DVINO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSAN_OPTIONS: fail the test process on the first report; tools/tsan.supp
@@ -77,5 +81,14 @@ TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
   ctest --test-dir build-tsan \
   -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test' \
   --output-on-failure -j "$JOBS"
+
+echo "== [5/5] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
+cmake -B build-asan -S . -DVINO_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS"
+# alloc_test is excluded: it replaces global operator new to count heap
+# traffic, which defeats (and is defeated by) ASan's allocator interposition.
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  ctest --test-dir build-asan -E 'alloc_test' --output-on-failure -j "$JOBS"
 
 echo "All checks passed."

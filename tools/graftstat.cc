@@ -148,8 +148,8 @@ int main(int argc, char** argv) {
   }
 
   LatencyHistogram invoke_latency;
-  vino::InvocationParams params;
-  params.latency = &invoke_latency;
+  vino::GraftExecContext exec(nullptr);
+  exec.latency = &invoke_latency;
 
   for (uint64_t i = 0; i < invocations; ++i) {
     const Profile& p = profiles[i % std::size(profiles)];
@@ -159,7 +159,7 @@ int main(int argc, char** argv) {
     const uint64_t args[3] = {p.base_locks + i % 3,
                               p.base_undo + (i / 2) % 5,
                               p.aborts ? uint64_t{1} : uint64_t{0}};
-    (void)RunGraftInvocation(txn_manager, nullptr, graft, args, params);
+    (void)RunGraftInvocation(txn_manager, graft, args, exec);
   }
 
   // ---- Collect --------------------------------------------------------
