@@ -163,6 +163,24 @@ class AbortCostModel {
 
   [[nodiscard]] uint64_t samples() const { return sums_.Read(kN); }
 
+  // Folds another model's samples into this one. The running sums are
+  // additive, so merging N per-graft models yields exactly the model a
+  // single aggregate Record stream would have built (graftstat's
+  // "all-grafts" view, and the quantity a spool replay reconstructs from
+  // kAbortCost records). Reads `other` without synchronization: call at
+  // collection time, not while `other` is being fed.
+  void Merge(const AbortCostModel& other) {
+    sums_.Add(kN, other.sums_.Read(kN));
+    sums_.Add(kL, other.sums_.Read(kL));
+    sums_.Add(kG, other.sums_.Read(kG));
+    sums_.Add(kLL, other.sums_.Read(kLL));
+    sums_.Add(kGG, other.sums_.Read(kGG));
+    sums_.Add(kLG, other.sums_.Read(kLG));
+    cost_sums_.Add(kC, other.cost_sums_.Read(kC));
+    cost_sums_.Add(kCL, other.cost_sums_.Read(kCL));
+    cost_sums_.Add(kCG, other.cost_sums_.Read(kCG));
+  }
+
   // Solves the normal equations. Degenerate predictors (no variance in L
   // or G across the samples) get a zero coefficient rather than a garbage
   // one; with zero samples the fit is invalid.

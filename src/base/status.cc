@@ -56,6 +56,10 @@ std::string_view StatusName(Status s) {
       return "LIMIT_EXCEEDED";
     case Status::kBadResult:
       return "BAD_RESULT";
+    case Status::kSpoolTruncated:
+      return "SPOOL_TRUNCATED";
+    case Status::kSpoolCorrupt:
+      return "SPOOL_CORRUPT";
   }
   return "UNKNOWN";
 }

@@ -55,6 +55,12 @@ enum class Status : int32_t {
 
   // Graft result validation.
   kBadResult = -60,  // Graft returned a value that failed validation.
+
+  // --- Trace spool (src/base/trace_spool.h) ------------------------------
+  kSpoolTruncated = -70,  // Spool ends mid-batch (live file or torn write);
+                          // everything before the tail parsed cleanly.
+  kSpoolCorrupt = -71,    // Bad magic/version or a batch CRC mismatch;
+                          // intact batches were still delivered.
 };
 
 // Human-readable name for diagnostics and logs.

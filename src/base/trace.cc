@@ -59,6 +59,7 @@ std::string_view EventName(Event e) {
     case Event::kResourceDenied: return "resource-denied";
     case Event::kGraftEjected:   return "graft-ejected";
     case Event::kPoolSaturated:  return "pool-saturated";
+    case Event::kAbortCost:      return "abort-cost";
   }
   return "?";
 }
@@ -78,12 +79,20 @@ void SetEnabled(bool enabled) {
 }
 
 uint64_t Ring::SnapshotInto(std::vector<TaggedRecord>& out) const {
+  return SnapshotFrom(0, out).lost;
+}
+
+Ring::RangeResult Ring::SnapshotFrom(uint64_t from_seq,
+                                     std::vector<TaggedRecord>& out) const {
   const uint64_t end = head_.load(std::memory_order_acquire);
   // Slot `seq` is unreliable once head has reached seq + capacity (the
   // writer may be mid-overwrite and a reader cannot prove otherwise), so a
   // wrapped ring yields at most capacity - 1 records.
-  const uint64_t begin = end >= kRingRecords ? end - kRingRecords + 1 : 0;
-  uint64_t dropped = begin;  // Overwritten (or unprovable) before we arrived.
+  const uint64_t oldest = end >= kRingRecords ? end - kRingRecords + 1 : 0;
+  const uint64_t begin = from_seq > oldest ? from_seq : oldest;
+  // Overwritten (or unprovable) before we arrived. A cursor ahead of head
+  // cannot happen (seq only grows), so begin >= from_seq always.
+  uint64_t dropped = begin - from_seq;
   out.reserve(out.size() + static_cast<size_t>(end - begin));
   for (uint64_t seq = begin; seq < end; ++seq) {
     const size_t base = (seq & (kRingRecords - 1)) * kWordsPerRecord;
@@ -104,7 +113,7 @@ uint64_t Ring::SnapshotInto(std::vector<TaggedRecord>& out) const {
     tagged.seq = seq;
     out.push_back(tagged);
   }
-  return dropped;
+  return {end, dropped};
 }
 
 Ring& RingForCurrentThread() {
@@ -146,8 +155,10 @@ std::vector<TaggedRecord> Snapshot(SnapshotStats* stats) {
   }
   std::vector<TaggedRecord> out;
   uint64_t dropped = 0;
+  uint64_t overwritten = 0;
   for (const Ring* ring : rings) {
     dropped += ring->SnapshotInto(out);
+    overwritten += ring->overwritten();
   }
   std::sort(out.begin(), out.end(),
             [](const TaggedRecord& x, const TaggedRecord& y) {
@@ -163,8 +174,63 @@ std::vector<TaggedRecord> Snapshot(SnapshotStats* stats) {
     stats->records = out.size();
     stats->dropped = dropped;
     stats->rings = rings.size();
+    stats->overwritten = overwritten;
   }
   return out;
+}
+
+DrainCursor::DrainCursor() {
+  // Reserve once so steady-state drains never grow a buffer: a single
+  // drain appends at most kRingRecords - 1 records per ring, delivered
+  // ring by ring through the same scratch vector.
+  scratch_.reserve(kRingRecords);
+  ring_scratch_.reserve(16);
+}
+
+DrainCursor::Stats DrainCursor::DrainInto(TraceSink& sink) {
+  Stats stats;
+
+  // ResetForTest discarded the rings our positions refer to (and a new ring
+  // may even reuse a freed ring's address): forget them.
+  const uint64_t generation = g_generation.load(std::memory_order_acquire);
+  if (generation != generation_) {
+    next_seq_.clear();
+    generation_ = generation;
+  }
+
+  // Pin the ring set under the lock, then read each ring lock-free.
+  ring_scratch_.clear();
+  {
+    Registry& registry = TheRegistry();
+    std::lock_guard<std::mutex> guard(registry.mutex);
+    ring_scratch_.reserve(registry.rings.size());
+    for (const auto& ring : registry.rings) {
+      ring_scratch_.push_back(ring.get());
+    }
+  }
+
+  for (Ring* ring : ring_scratch_) {
+    const uint64_t from = next_seq_[ring];  // 0 for a ring first seen.
+    const uint64_t pending = ring->head() - from;
+    const uint64_t occupancy =
+        (pending >= kRingRecords ? kRingRecords : pending) * 1000 /
+        kRingRecords;
+    if (occupancy > stats.max_occupancy_permille) {
+      stats.max_occupancy_permille = static_cast<uint32_t>(occupancy);
+    }
+    scratch_.clear();
+    const Ring::RangeResult range = ring->SnapshotFrom(from, scratch_);
+    next_seq_[ring] = range.next_seq;
+    stats.lost += range.lost;
+    stats.records += scratch_.size();
+    for (const TaggedRecord& record : scratch_) {
+      sink.OnRecord(record);
+    }
+  }
+  stats.rings = ring_scratch_.size();
+  lost_total_ += stats.lost;
+  stats.lost_total = lost_total_;
+  return stats;
 }
 
 SnapshotStats Drain(TraceSink& sink) {

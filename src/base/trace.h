@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/clock.h"
@@ -73,6 +74,12 @@ enum class Event : uint16_t {
   // Policy (graft points, worker pool).
   kGraftEjected,   // tag = Status reason, a = graft trace id.
   kPoolSaturated,  // a = queue depth, a32 = 1 if submitter blocked (kBlock).
+
+  // Per-graft abort-cost attribution (src/graft/invocation.h). Mirrors the
+  // (L, G, cost) sample fed to the graft's AbortCostModel, so a spool
+  // replay can re-fit a + b·L + c·G without the live process.
+  kAbortCost,      // tag = min(G, 65535), a32 = L, a = graft trace id,
+                   // b = abort cost ns.
 };
 
 [[nodiscard]] std::string_view EventName(Event e);
@@ -150,6 +157,16 @@ class Ring {
     return head_.load(std::memory_order_acquire);
   }
 
+  // Monotonic ring-wrap counter: how many posted records the writer has
+  // overwritten since the ring was created. Derived from the monotonic head,
+  // so it costs the writer nothing; spool batches report its registry-wide
+  // sum so a consumer knows the recorder's *total* loss, not just the loss
+  // within one snapshot window.
+  [[nodiscard]] uint64_t overwritten() const {
+    const uint64_t h = head();
+    return h > kRingRecords ? h - kRingRecords : 0;
+  }
+
   // Owning thread only. Writes the slot's words (relaxed), then publishes
   // with a release store of the head.
   void Post(const Record& record) {
@@ -167,6 +184,17 @@ class Ring {
   // TaggedRecords; returns how many of the posted records were lost to
   // wrap-around (or invalidated mid-copy by the writer lapping us).
   uint64_t SnapshotInto(std::vector<TaggedRecord>& out) const;
+
+  // Incremental variant: appends the valid records in [from_seq, head).
+  // `lost` counts records in that range that wrapped before we arrived (or
+  // were invalidated mid-copy); `next_seq` is where the next drain should
+  // resume. Appends at most kRingRecords - 1 records per call.
+  struct RangeResult {
+    uint64_t next_seq = 0;
+    uint64_t lost = 0;
+  };
+  RangeResult SnapshotFrom(uint64_t from_seq,
+                           std::vector<TaggedRecord>& out) const;
 
  private:
   static constexpr size_t kWordsPerRecord = sizeof(Record) / sizeof(uint64_t);
@@ -205,9 +233,12 @@ class TraceSink {
 };
 
 struct SnapshotStats {
-  uint64_t records = 0;   // Records delivered.
-  uint64_t dropped = 0;   // Posted but lost to ring wrap-around.
-  uint64_t rings = 0;     // Per-thread rings stitched (live + retired).
+  uint64_t records = 0;     // Records delivered.
+  uint64_t dropped = 0;     // Posted but lost to ring wrap-around.
+  uint64_t rings = 0;       // Per-thread rings stitched (live + retired).
+  uint64_t overwritten = 0; // Monotonic: total ring-wrap loss across all
+                            // rings since they were created (Σ Ring::
+                            // overwritten()), not just this snapshot's.
 };
 
 // Stitches every thread's ring into one view ordered by (time_ns, os_id,
@@ -218,6 +249,49 @@ struct SnapshotStats {
 
 // Snapshot() delivered through a sink, for consumers that stream.
 SnapshotStats Drain(TraceSink& sink);
+
+// ---------------------------------------------------------------------------
+// Incremental drain.
+
+// Remembers, per ring, how far it has read, so a periodic consumer (the
+// spool drainer, src/base/trace_spool.h) delivers every record exactly once
+// instead of re-reading the whole window. Records are delivered ring by
+// ring in per-thread seq order — no global time merge; TaggedRecord carries
+// (os_id, seq) so an offline consumer can sort once at replay time.
+//
+// Steady-state allocation-free: the scratch buffers are reserved up front
+// and reused, and the cursor map only grows when a *new* thread posts its
+// first record. Not thread-safe; one cursor has one owner.
+class DrainCursor {
+ public:
+  struct Stats {
+    uint64_t records = 0;   // Delivered to the sink by this drain.
+    uint64_t lost = 0;      // Wrapped past this cursor during this drain.
+    uint64_t lost_total = 0;  // Monotonic loss across the cursor's life.
+    uint64_t rings = 0;     // Rings visited.
+    // Fullest pending backlog seen this drain, in permille of ring
+    // capacity — the signal the spool drainer's adaptive cadence consumes.
+    uint32_t max_occupancy_permille = 0;
+  };
+
+  DrainCursor();
+
+  DrainCursor(const DrainCursor&) = delete;
+  DrainCursor& operator=(const DrainCursor&) = delete;
+
+  // Delivers every record posted since the previous DrainInto and advances
+  // the cursor. Safe against concurrent writers (same copy-then-revalidate
+  // protocol as Snapshot) and against ResetForTest (a generation bump
+  // forgets the stale per-ring positions).
+  Stats DrainInto(TraceSink& sink);
+
+ private:
+  uint64_t generation_ = 0;
+  uint64_t lost_total_ = 0;
+  std::unordered_map<const Ring*, uint64_t> next_seq_;
+  std::vector<TaggedRecord> scratch_;  // Reused; reserved to kRingRecords.
+  std::vector<Ring*> ring_scratch_;    // Pinned registry copy, reused.
+};
 
 // Test hook: forgets all rings and their histories. Callers must guarantee
 // no thread is concurrently posting (quiescent point); threads that already

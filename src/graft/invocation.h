@@ -192,6 +192,15 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
     if (traced) {
       const uint64_t now_ns = trace::NowNs();
       graft->RecordAbortCost(held_locks, undo_len, now_ns - abort_start_ns);
+      // Mirror the sample into the trace stream so a spool replay
+      // (graftstat --spool) re-fits the same per-graft a + b·L + c·G
+      // model without the live process. G rides in the 16-bit tag,
+      // saturating — an undo log past 65535 records is not a graft this
+      // model describes anyway.
+      trace::Post(trace::Event::kAbortCost,
+                  static_cast<uint16_t>(undo_len > 0xFFFF ? 0xFFFF : undo_len),
+                  static_cast<uint32_t>(held_locks), graft->trace_id(),
+                  now_ns - abort_start_ns);
       if (exec.latency != nullptr) {
         exec.latency->Record(now_ns - invoke_start_ns);
       }
@@ -230,6 +239,10 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
     const uint64_t now_ns = trace::NowNs();
     if (!IsOk(commit_status)) {
       graft->RecordAbortCost(pre_locks, pre_undo, now_ns - commit_start_ns);
+      trace::Post(trace::Event::kAbortCost,
+                  static_cast<uint16_t>(pre_undo > 0xFFFF ? 0xFFFF : pre_undo),
+                  static_cast<uint32_t>(pre_locks), graft->trace_id(),
+                  now_ns - commit_start_ns);
     }
     if (exec.latency != nullptr) {
       exec.latency->Record(now_ns - invoke_start_ns);

@@ -1,12 +1,51 @@
 #include "src/kernel/kernel.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "src/base/log.h"
 #include "src/sfi/assembler.h"
 #include "src/sfi/misfit.h"
 
 namespace vino {
+namespace {
+
+// Resolves the kernel's spool drainer, if any. Explicit config wins; the
+// VINO_SPOOL environment variable (a directory) derives a per-kernel file
+// name, which is how tools/check.sh spools the whole test suite without
+// touching every test. Failure to open degrades to "no spooling" — the
+// recorder itself keeps working.
+std::unique_ptr<spool::SpoolDrainer> MakeSpoolDrainer(
+    spool::SpoolDrainer::Options options) {
+  if (options.path.empty()) {
+    const char* dir = std::getenv("VINO_SPOOL");
+    if (dir == nullptr || dir[0] == '\0') {
+      return nullptr;
+    }
+    static std::atomic<uint64_t> counter{0};
+    options.path = std::string(dir) + "/vspool." + std::to_string(::getpid()) +
+                   "." + std::to_string(counter.fetch_add(1)) + ".bin";
+  }
+  Result<std::unique_ptr<spool::SpoolDrainer>> drainer =
+      spool::SpoolDrainer::Start(options);
+  if (!drainer.ok()) {
+    VINO_LOG_WARN << "trace spool '" << options.path
+                  << "' failed to start: " << StatusName(drainer.status())
+                  << "; spooling disabled";
+    return nullptr;
+  }
+  return std::move(drainer.value());
+}
+
+}  // namespace
 
 VinoKernel::VinoKernel(const VinoKernelConfig& config)
-    : toolchain_(config.signing_key),
+    : spool_(MakeSpoolDrainer(config.trace_spool)),
+      toolchain_(config.signing_key),
       loader_(&ns_, &host_, SigningAuthority(config.signing_key)),
       watchdog_(config.start_watchdog
                     ? std::make_unique<Watchdog>(config.watchdog_tick)

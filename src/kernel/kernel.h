@@ -22,6 +22,7 @@
 #include <string_view>
 
 #include "src/base/clock.h"
+#include "src/base/trace_spool.h"
 #include "src/base/worker_pool.h"
 #include "src/fs/buffer_cache.h"
 #include "src/fs/disk.h"
@@ -55,6 +56,15 @@ struct VinoKernelConfig {
   // threads, bounded). Defaults: hardware-sized workers, 256-deep queue,
   // inline-on-saturation (events degrade to synchronous, never drop).
   WorkerPool::Config event_pool;
+
+  // Continuous trace spooling (DESIGN.md "Observability"): when
+  // trace_spool.path is non-empty — or the VINO_SPOOL environment variable
+  // names a directory, from which a per-kernel file name is derived — the
+  // kernel owns a background drainer that spools the flight recorder to
+  // disk so long traced runs survive ring wrap-around. A path that cannot
+  // be opened logs a warning and disables spooling; it never fails kernel
+  // construction.
+  spool::SpoolDrainer::Options trace_spool;
 };
 
 class VinoKernel {
@@ -80,6 +90,8 @@ class VinoKernel {
   [[nodiscard]] Scheduler& sched() { return sched_; }
   // Null when start_watchdog was false.
   [[nodiscard]] Watchdog* watchdog() { return watchdog_.get(); }
+  // Null when spooling is disabled (no configured path and no VINO_SPOOL).
+  [[nodiscard]] spool::SpoolDrainer* spool() { return spool_.get(); }
 
   // The toolchain half of code signing, for in-process graft builds.
   [[nodiscard]] const SigningAuthority& toolchain() const { return toolchain_; }
@@ -110,6 +122,11 @@ class VinoKernel {
   }
 
  private:
+  // Declared first so it is destroyed last: the final drain then captures
+  // records the other subsystems post while tearing down (watchdog stop,
+  // event-pool drain).
+  std::unique_ptr<spool::SpoolDrainer> spool_;
+
   TxnManager txn_;
   HostCallTable host_;
   GraftNamespace ns_;

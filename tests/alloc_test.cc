@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <new>
@@ -16,6 +17,7 @@
 
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/base/trace_spool.h"
 #include "src/graft/function_point.h"
 #include "src/sfi/assembler.h"
 #include "src/sfi/misfit.h"
@@ -238,6 +240,51 @@ TEST_F(AllocTest, SteadyStateNullProgramGraftSafePathIsAllocationFree) {
   }
   EXPECT_EQ(AllocCount() - before, 0u);
   EXPECT_TRUE(point.grafted()) << "graft must not have been removed";
+}
+
+TEST_F(AllocTest, TracingAndSpoolingEnabledSafePathIsAllocationFree) {
+  // The full observability stack live: tracing ON and a background
+  // SpoolDrainer draining this thread's ring to disk at an aggressive
+  // cadence while the safe path runs. The drain cycle is steady-state
+  // allocation-free by design (reserved cursor scratch, reserved writer
+  // batch, raw fd writes) — this is the gate that keeps it that way.
+  trace::SetEnabled(true);
+  spool::SpoolDrainer::Options options;
+  options.path = ::testing::TempDir() + "vino_alloc_spool.bin";
+  options.min_interval_us = 200;  // Drain often: overlap with the window.
+  options.max_interval_us = 2'000;
+  auto started = spool::SpoolDrainer::Start(options);
+  ASSERT_TRUE(started.ok());
+  auto drainer = std::move(started.value());
+
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 7; },
+      FunctionGraftPoint::Config{}, &txn_, &host_, nullptr);
+  ASSERT_EQ(point.Replace(std::make_shared<Graft>(
+                "null-native",
+                [](std::span<const uint64_t>, MemoryImage*) -> Result<uint64_t> {
+                  return 0ull;
+                },
+                kRoot)),
+            Status::kOk);
+  for (int i = 0; i < 8; ++i) {
+    (void)point.Invoke({});  // Warm slab, stats shard, and trace ring.
+  }
+  drainer->DrainNow();  // Warm the cursor's per-ring map on this ring.
+  drainer->DrainNow();
+
+  const uint64_t before = AllocCount();
+  for (int i = 0; i < 10'000; ++i) {
+    (void)point.Invoke({});
+  }
+  drainer->DrainNow();  // At least one full drain inside the window.
+  EXPECT_EQ(AllocCount() - before, 0u);
+
+  drainer->Stop();
+  EXPECT_EQ(drainer->stats().writer_status, Status::kOk);
+  EXPECT_GT(drainer->stats().records, 0u);
+  trace::SetEnabled(false);
+  std::remove(options.path.c_str());
 }
 
 TEST_F(AllocTest, TracingEnabledProgramGraftSafePathIsAllocationFree) {

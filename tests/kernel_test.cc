@@ -3,6 +3,16 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/base/trace.h"
+#include "src/base/trace_spool.h"
 #include "src/kernel/kernel.h"
 
 namespace vino {
@@ -134,6 +144,72 @@ TEST(KernelTest, GraftPointIntrospection) {
   }
   EXPECT_TRUE(saw_event);
   EXPECT_TRUE(saw_function);
+}
+
+TEST(KernelTest, ConfiguredSpoolDrainsTracesAcrossKernelLifetime) {
+  const std::string path =
+      ::testing::TempDir() + "vino_kernel_spool." + std::to_string(::getpid()) +
+      ".bin";
+  trace::ResetForTest();
+  trace::SetEnabled(true);
+  {
+    VinoKernelConfig config;
+    config.start_watchdog = false;
+    config.trace_spool.path = path;
+    VinoKernel kernel(config);
+    ASSERT_NE(kernel.spool(), nullptr);
+    EXPECT_EQ(kernel.spool()->path(), path);
+
+    // Exercise a traced workload through the facade.
+    Result<std::shared_ptr<Graft>> graft = kernel.LoadGraftFromSource(
+        "loadi r0, 7\nhalt\n", "traced", kUser);
+    ASSERT_TRUE(graft.ok());
+    FunctionGraftPoint point(
+        "k.spooled", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+        FunctionGraftPoint::Config{}, &kernel.txn(), &kernel.host(),
+        &kernel.ns());
+    ASSERT_EQ(kernel.loader().InstallFunction("k.spooled", *graft), Status::kOk);
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(point.Invoke({}), 7u);
+    }
+  }  // Kernel destruction: final drain + close trailer.
+  trace::SetEnabled(false);
+
+  std::vector<trace::TaggedRecord> records;
+  spool::ReadStats stats;
+  ASSERT_EQ(spool::ReadSpool(path, records, &stats), Status::kOk);
+  EXPECT_TRUE(stats.closed);
+  // The 50 invocations (begin/end + txn begin/commit each) all made it out.
+  uint64_t invoke_ends = 0;
+  for (const auto& r : records) {
+    if (static_cast<trace::Event>(r.record.event) == trace::Event::kInvokeEnd) {
+      ++invoke_ends;
+    }
+  }
+  EXPECT_GE(invoke_ends, 50u);
+  std::remove(path.c_str());
+  trace::ResetForTest();
+}
+
+TEST(KernelTest, NoSpoolConfiguredMeansNoDrainer) {
+  VinoKernelConfig config;
+  config.start_watchdog = false;
+  VinoKernel kernel(config);
+  // (check.sh sets VINO_SPOOL for the whole suite run; only assert the
+  // "off" shape when the environment agrees.)
+  if (std::getenv("VINO_SPOOL") == nullptr) {
+    EXPECT_EQ(kernel.spool(), nullptr);
+  }
+}
+
+TEST(KernelTest, UnwritableSpoolPathDegradesToNoSpooling) {
+  VinoKernelConfig config;
+  config.start_watchdog = false;
+  config.trace_spool.path = "/nonexistent-dir-vino/spool.bin";
+  VinoKernel kernel(config);  // Must not throw or fail construction.
+  EXPECT_EQ(kernel.spool(), nullptr);
+  // The rest of the kernel is fully functional.
+  EXPECT_TRUE(kernel.host().IdOf("net.recv").ok());
 }
 
 TEST(KernelTest, EndToEndFileWorkloadThroughFacade) {

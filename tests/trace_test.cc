@@ -70,6 +70,19 @@ TEST_F(TraceTest, WrapAroundKeepsMostRecentAndCountsDrops) {
   EXPECT_EQ(records.front().record.a, 101u);
   EXPECT_EQ(records.front().seq, 101u);
   EXPECT_EQ(records.back().record.a, total - 1);
+  // The monotonic wrap counter reports total overwritten history, derived
+  // from head, so it is exact (unlike `dropped`, which conservatively adds
+  // the one unprovable slot).
+  EXPECT_EQ(stats.overwritten, 100u);
+
+  // And it only grows: more wrapping, bigger counter — a later consumer can
+  // always tell how much of the ring's life it missed.
+  for (uint64_t i = 0; i < 50; ++i) {
+    trace::Post(trace::Event::kLockAcquire, 0, 0, total + i, 0);
+  }
+  trace::SnapshotStats after;
+  (void)trace::Snapshot(&after);
+  EXPECT_EQ(after.overwritten, 150u);
 }
 
 TEST_F(TraceTest, EventAndPathTagNamesAreStable) {
@@ -179,6 +192,156 @@ TEST_F(TraceTest, MultiWriterSnapshotDuringWriteDeliversNoTornRecords) {
     last_seq[w] = r.seq;
   }
   EXPECT_GT(checked, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental drain (DrainCursor) — the spool drainer's read side.
+
+struct CursorCollector : trace::TraceSink {
+  std::vector<trace::TaggedRecord> got;
+  void OnRecord(const trace::TaggedRecord& r) override { got.push_back(r); }
+};
+
+TEST_F(TraceTest, DrainCursorDeliversEachRecordExactlyOnce) {
+  trace::DrainCursor cursor;
+  CursorCollector sink;
+
+  trace::Post(trace::Event::kTxnBegin, 0, 0, 1, 0);
+  trace::Post(trace::Event::kTxnCommit, 0, 0, 1, 0);
+  trace::DrainCursor::Stats stats = cursor.DrainInto(sink);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.lost, 0u);
+  ASSERT_EQ(sink.got.size(), 2u);
+
+  // Nothing new: a second drain is empty, not a re-delivery.
+  stats = cursor.DrainInto(sink);
+  EXPECT_EQ(stats.records, 0u);
+  EXPECT_EQ(sink.got.size(), 2u);
+
+  trace::Post(trace::Event::kTxnAbort, 0, 0, 2, 0);
+  stats = cursor.DrainInto(sink);
+  EXPECT_EQ(stats.records, 1u);
+  ASSERT_EQ(sink.got.size(), 3u);
+  // Per-thread seq is dense across drains: exactly-once, in order.
+  for (uint64_t i = 0; i < sink.got.size(); ++i) {
+    EXPECT_EQ(sink.got[i].seq, i);
+  }
+}
+
+TEST_F(TraceTest, DrainCursorAccountsWrapLossBetweenDrains) {
+  trace::DrainCursor cursor;
+  CursorCollector sink;
+
+  // The cursor arrives after the ring has already wrapped: everything it
+  // missed is counted, nothing is fabricated.
+  const uint64_t total = trace::kRingRecords + 500;
+  for (uint64_t i = 0; i < total; ++i) {
+    trace::Post(trace::Event::kLockAcquire, 0, 0, i, 0);
+  }
+  trace::DrainCursor::Stats stats = cursor.DrainInto(sink);
+  EXPECT_EQ(stats.records, trace::kRingRecords - 1);
+  EXPECT_EQ(stats.lost, 501u);  // 500 wrapped + the unprovable oldest slot.
+  EXPECT_EQ(stats.records + stats.lost, total);
+  EXPECT_EQ(sink.got.back().record.a, total - 1);
+
+  // Once it is keeping up, no further loss — and lost_total stays put.
+  for (uint64_t i = 0; i < 10; ++i) {
+    trace::Post(trace::Event::kLockAcquire, 0, 0, total + i, 0);
+  }
+  stats = cursor.DrainInto(sink);
+  EXPECT_EQ(stats.records, 10u);
+  EXPECT_EQ(stats.lost, 0u);
+  EXPECT_EQ(stats.lost_total, 501u);
+}
+
+TEST_F(TraceTest, DrainCursorSurvivesResetForTest) {
+  trace::DrainCursor cursor;
+  CursorCollector sink;
+  trace::Post(trace::Event::kTxnBegin, 0, 0, 1, 0);
+  (void)cursor.DrainInto(sink);
+  ASSERT_EQ(sink.got.size(), 1u);
+
+  trace::ResetForTest();  // Generation bump: stale positions are forgotten.
+  trace::Post(trace::Event::kTxnBegin, 0, 0, 2, 0);
+  const trace::DrainCursor::Stats stats = cursor.DrainInto(sink);
+  EXPECT_EQ(stats.records, 1u);
+  ASSERT_EQ(sink.got.size(), 2u);
+  EXPECT_EQ(sink.got.back().record.a, 2u);
+  EXPECT_EQ(sink.got.back().seq, 0u);  // Fresh ring, fresh stream.
+}
+
+// The satellite stress test (run under TSan by tools/check.sh): a drainer
+// continuously draining while writer threads hammer their rings. Delivered
+// records must be untorn (b == a XOR per-writer magic) and each writer's
+// stream must arrive with strictly monotonic seq — exactly-once, no
+// duplicates, no reordering within a thread.
+TEST_F(TraceTest, DrainCursorVersusWritersDeliversUntornMonotonicStreams) {
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPostsPerWriter = 3 * trace::kRingRecords;  // Wraps.
+  std::atomic<int> writers_done{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([w, &writers_done] {
+      const uint64_t magic =
+          0x9e3779b97f4a7c15ull * static_cast<uint64_t>(w + 1);
+      for (uint64_t i = 0; i < kPostsPerWriter; ++i) {
+        trace::Post(trace::Event::kLockAcquire,
+                    static_cast<uint16_t>(w), static_cast<uint32_t>(w), i,
+                    i ^ magic);
+      }
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  trace::DrainCursor cursor;
+  CursorCollector sink;
+  uint64_t drains = 0;
+  while (writers_done.load(std::memory_order_acquire) < kWriters) {
+    (void)cursor.DrainInto(sink);
+    ++drains;
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  const trace::DrainCursor::Stats final_stats = cursor.DrainInto(sink);
+  EXPECT_GT(drains, 0u);
+
+  uint64_t last_seq[kWriters];
+  bool seen[kWriters] = {};
+  uint64_t delivered[kWriters] = {};
+  for (const auto& r : sink.got) {
+    if (static_cast<trace::Event>(r.record.event) !=
+        trace::Event::kLockAcquire) {
+      continue;  // A stray record from the harness thread.
+    }
+    const int w = static_cast<int>(r.record.tag);
+    ASSERT_LT(w, kWriters);
+    const uint64_t magic = 0x9e3779b97f4a7c15ull * static_cast<uint64_t>(w + 1);
+    ASSERT_EQ(r.record.b, r.record.a ^ magic)
+        << "torn record delivered: writer " << w << " seq " << r.seq;
+    // Each writer posts only these records on a fresh thread, so its ring
+    // seq IS the post index.
+    ASSERT_EQ(r.record.a, r.seq);
+    if (seen[w]) {
+      ASSERT_GT(r.seq, last_seq[w]) << "duplicate or reordered delivery";
+    }
+    seen[w] = true;
+    last_seq[w] = r.seq;
+    ++delivered[w];
+  }
+  // Exactly-once bookkeeping: per writer, delivered + lost == posted. The
+  // split depends on drain/writer timing; the sum must not.
+  uint64_t total_delivered = 0;
+  for (int w = 0; w < kWriters; ++w) {
+    EXPECT_TRUE(seen[w]) << "writer " << w << " vanished from the drain";
+    EXPECT_EQ(last_seq[w], kPostsPerWriter - 1)
+        << "writer " << w << "'s final record must always be delivered";
+    total_delivered += delivered[w];
+  }
+  EXPECT_EQ(total_delivered + final_stats.lost_total,
+            static_cast<uint64_t>(kWriters) * kPostsPerWriter);
 }
 
 // Toggling the enable flag while writers post must be race-free; a site that

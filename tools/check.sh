@@ -44,8 +44,27 @@ echo "== [2/5] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
 
-echo "== [3/5] flight recorder live: suite with VINO_TRACE=1 + graftstat =="
-VINO_TRACE=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+echo "== [3/5] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
+# VINO_SPOOL makes every VinoKernel constructed by the suite spool its
+# flight recorder to a per-kernel file; every spool produced must then
+# parse cleanly with graftstat --spool (exit 0 tolerates truncated tails,
+# rejects corruption).
+# Absolute: ctest runs tests with the build tree as working directory.
+SPOOL_DIR="$PWD/build/spool-smoke"
+rm -rf "$SPOOL_DIR" && mkdir -p "$SPOOL_DIR"
+VINO_TRACE=1 VINO_SPOOL="$SPOOL_DIR" \
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+SPOOL_COUNT=0
+for f in "$SPOOL_DIR"/vspool.*.bin; do
+  [[ -e "$f" ]] || continue
+  build/tools/graftstat --spool "$f" --json >/dev/null
+  SPOOL_COUNT=$((SPOOL_COUNT + 1))
+done
+if [[ "$SPOOL_COUNT" -eq 0 ]]; then
+  echo "spool smoke: no spool files produced under VINO_SPOOL" >&2
+  exit 1
+fi
+echo "spool smoke: ok ($SPOOL_COUNT spools replayed cleanly)"
 build/tools/graftstat --json --invocations 500 | python3 -c '
 import json, sys
 d = json.load(sys.stdin)
@@ -79,7 +98,7 @@ cmake --build build-tsan -j "$JOBS"
 # silences libstdc++ _Sp_atomic false positives (see that file).
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
   ctest --test-dir build-tsan \
-  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test' \
+  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test|trace_spool_test' \
   --output-on-failure -j "$JOBS"
 
 echo "== [5/5] AddressSanitizer+UBSan: full suite (minus alloc_test) =="

@@ -1,13 +1,26 @@
-// graftstat: runs an abort-heavy graft workload with the flight recorder
-// live and reports what the observability layer measured.
+// graftstat: the abort-cost diagnosis tool. Three modes:
 //
-// This is the paper's §4.5 experiment as a tool: grafts that hold L locks
-// and push G undo records, then abort, give the abort-cost model enough
-// variance to fit cost = a + b·L + c·G per graft and kernel-wide. The
-// report also includes the flight-recorder event counts, txn-manager
-// commit/abort latency quantiles, and the invocation-path histogram.
+//   graftstat [--json] [--invocations N] [--spool-out FILE]
+//     Self-test workload (the paper's §4.5 experiment): abort-heavy grafts
+//     holding L locks and pushing G undo records give the cost model enough
+//     variance to fit cost = a + b·L + c·G per graft. --spool-out also
+//     spools the run's flight-recorder stream to FILE (deterministically —
+//     drained every batch of invocations, so nothing wraps), which is how
+//     the golden test proves a replayed fit matches the live one.
 //
-// Usage: graftstat [--json] [--invocations N]
+//   graftstat --spool FILE [--json]
+//     Attach to a *recorded* deployment: replay a spool written by a
+//     kernel's SpoolDrainer (src/base/trace_spool.h) and rebuild the same
+//     report — per-graft abort counts, L/G means, fitted cost lines,
+//     invocation-latency quantiles — from the records alone. Tolerates
+//     truncated tails (a live or torn file) and skips corrupt batches.
+//
+//   graftstat --follow FILE [--json] [--interval-ms N]
+//     Attach to a *live* deployment: tail the spool as the kernel writes
+//     it, folding new batches into the running report, until the writer's
+//     close trailer arrives (kernel shutdown) — then print the report.
+
+#include <unistd.h>
 
 #include <cinttypes>
 #include <cstdio>
@@ -20,6 +33,7 @@
 
 #include "src/base/histogram.h"
 #include "src/base/trace.h"
+#include "src/base/trace_spool.h"
 #include "src/graft/graft.h"
 #include "src/graft/invocation.h"
 #include "src/txn/accessor.h"
@@ -99,23 +113,274 @@ void PrintQuantilesJson(const Quantiles& q) {
               q.p50, q.p95, q.p99, q.mean);
 }
 
+void PrintQuantilesText(const char* label, const Quantiles& q) {
+  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
+              " mean=%.0f\n",
+              label, q.p50, q.p95, q.p99, q.mean);
+}
+
+// ---------------------------------------------------------------------------
+// Spool replay: rebuild the report the live process computes, from the
+// recorded stream alone.
+
+struct ReplayReport {
+  struct GraftAgg {
+    uint64_t invocations = 0;
+    uint64_t aborts = 0;
+    AbortCostModel model;
+  };
+
+  std::map<uint64_t, GraftAgg> grafts;  // Keyed by graft trace id.
+  std::map<std::string, uint64_t> event_counts;
+  uint64_t records = 0;
+  uint64_t txn_begins = 0;
+  uint64_t txn_commits = 0;
+  uint64_t txn_aborts = 0;
+  LatencyHistogram invoke_latency;
+  AbortCostModel global_model;
+
+  void Add(const vino::trace::TaggedRecord& tagged) {
+    using vino::trace::Event;
+    using vino::trace::PathTag;
+    const vino::trace::Record& r = tagged.record;
+    const Event event = static_cast<Event>(r.event);
+    ++records;
+    ++event_counts[std::string(vino::trace::EventName(event))];
+    switch (event) {
+      case Event::kInvokeBegin:
+        ++grafts[r.a].invocations;
+        break;
+      case Event::kInvokeEnd:
+        invoke_latency.Record(r.b);
+        if (static_cast<PathTag>(r.tag) == PathTag::kAbort) {
+          ++grafts[r.a].aborts;
+        }
+        break;
+      case Event::kAbortCost:
+        // The mirrored per-graft sample: a32 = L, tag = G, b = cost ns.
+        grafts[r.a].model.Record(r.a32, r.tag, r.b);
+        global_model.Record(r.a32, r.tag, r.b);
+        break;
+      case Event::kTxnBegin:
+        ++txn_begins;
+        break;
+      case Event::kTxnCommit:
+        ++txn_commits;
+        break;
+      case Event::kTxnAbort:
+        ++txn_aborts;
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+void PrintReplayJson(const char* mode, const std::string& path,
+                     const ReplayReport& report,
+                     const vino::spool::ReadStats& stats, Status status) {
+  std::printf("{\n  \"mode\": \"%s\",\n", mode);
+  std::printf("  \"spool\": {\"path\": \"%s\", \"status\": \"%.*s\", "
+              "\"batches\": %" PRIu64 ", \"corrupt_batches\": %" PRIu64
+              ", \"records\": %" PRIu64 ", \"lost_total\": %" PRIu64
+              ", \"truncated\": %s, \"closed\": %s},\n",
+              path.c_str(), static_cast<int>(StatusName(status).size()),
+              StatusName(status).data(), stats.batches, stats.corrupt_batches,
+              stats.records, stats.lost_total,
+              stats.truncated ? "true" : "false",
+              stats.closed ? "true" : "false");
+  std::printf("  \"txn\": {\"begins\": %" PRIu64 ", \"commits\": %" PRIu64
+              ", \"aborts\": %" PRIu64 "},\n",
+              report.txn_begins, report.txn_commits, report.txn_aborts);
+  std::printf("  \"trace\": {\"records\": %" PRIu64 ", \"events\": {",
+              report.records);
+  bool first = true;
+  for (const auto& [name, count] : report.event_counts) {
+    std::printf("%s\"%s\": %" PRIu64, first ? "" : ", ", name.c_str(), count);
+    first = false;
+  }
+  std::printf("}},\n");
+  std::printf("  \"latency\": {\"invoke\": ");
+  PrintQuantilesJson(Read(report.invoke_latency));
+  std::printf("},\n");
+  std::printf("  \"abort_cost_global\": ");
+  PrintFitJson(report.global_model.Fit());
+  std::printf(",\n  \"grafts\": [\n");
+  size_t i = 0;
+  for (const auto& [trace_id, agg] : report.grafts) {
+    std::printf("    {\"trace_id\": %" PRIu64 ", \"invocations\": %" PRIu64
+                ", \"aborts\": %" PRIu64 ", \"abort_cost\": ",
+                trace_id, agg.invocations, agg.aborts);
+    PrintFitJson(agg.model.Fit());
+    std::printf("}%s\n", ++i < report.grafts.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+void PrintReplayText(const char* mode, const std::string& path,
+                     const ReplayReport& report,
+                     const vino::spool::ReadStats& stats, Status status) {
+  std::printf("graftstat --%s %s\n\n", mode, path.c_str());
+  std::printf("spool: %" PRIu64 " batches (%" PRIu64 " corrupt skipped), %"
+              PRIu64 " records, %" PRIu64 " lost to ring wrap before the "
+              "drainer arrived%s%s [%.*s]\n\n",
+              stats.batches, stats.corrupt_batches, stats.records,
+              stats.lost_total, stats.truncated ? ", truncated tail" : "",
+              stats.closed ? ", closed cleanly" : "",
+              static_cast<int>(StatusName(status).size()),
+              StatusName(status).data());
+  std::printf("transactions: %" PRIu64 " begun, %" PRIu64 " committed, %"
+              PRIu64 " aborted\n\n",
+              report.txn_begins, report.txn_commits, report.txn_aborts);
+  std::printf("events:\n");
+  for (const auto& [name, count] : report.event_counts) {
+    std::printf("  %-16s %" PRIu64 "\n", name.c_str(), count);
+  }
+  std::printf("\nlatency (ns, bucket upper bounds):\n");
+  PrintQuantilesText("invoke", Read(report.invoke_latency));
+  std::printf("\nabort-cost model (paper §4.5: cost = a + b·L + c·G):\n");
+  PrintFitText("kernel-wide", report.global_model.Fit());
+  std::printf("\nper-graft:\n");
+  std::printf("  %-18s %12s %8s\n", "graft", "invocations", "aborts");
+  for (const auto& [trace_id, agg] : report.grafts) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "graft#%" PRIu64, trace_id);
+    std::printf("  %-18s %12" PRIu64 " %8" PRIu64 "\n", label,
+                agg.invocations, agg.aborts);
+    PrintFitText("", agg.model.Fit());
+  }
+}
+
+// Exit policy: a truncated tail is normal for a live or torn spool (partial
+// report, exit 0); corruption or an unreadable header is an error.
+int ReplayExitCode(Status status) {
+  return IsOk(status) || status == Status::kSpoolTruncated ? 0 : 1;
+}
+
+int RunSpoolReplay(const std::string& path, bool json) {
+  std::vector<vino::trace::TaggedRecord> records;
+  vino::spool::ReadStats stats;
+  const Status status = vino::spool::ReadSpool(path, records, &stats);
+  if (status == Status::kNotFound) {
+    std::fprintf(stderr, "graftstat: cannot open spool '%s'\n", path.c_str());
+    return 1;
+  }
+  ReplayReport report;
+  for (const auto& r : records) {
+    report.Add(r);
+  }
+  if (json) {
+    PrintReplayJson("spool", path, report, stats, status);
+  } else {
+    PrintReplayText("spool", path, report, stats, status);
+  }
+  return ReplayExitCode(status);
+}
+
+int RunSpoolFollow(const std::string& path, bool json, uint64_t interval_ms) {
+  vino::spool::SpoolFollower follower;
+  Status status = follower.Open(path);
+  // A spool whose header has not landed yet (or a file that does not exist
+  // yet) is a kernel mid-startup: wait for it, bounded at ~30 s.
+  for (int waits = 0;
+       (status == Status::kSpoolTruncated || status == Status::kNotFound) &&
+       waits < 300;
+       ++waits) {
+    ::usleep(static_cast<useconds_t>(interval_ms * 1000));
+    status = follower.Open(path);
+  }
+  if (!IsOk(status)) {
+    std::fprintf(stderr, "graftstat: cannot follow spool '%s' [%.*s]\n",
+                 path.c_str(),
+                 static_cast<int>(StatusName(status).size()),
+                 StatusName(status).data());
+    return 1;
+  }
+
+  ReplayReport report;
+  std::vector<vino::trace::TaggedRecord> batch;
+  uint64_t polls = 0;
+  while (true) {
+    batch.clear();
+    status = follower.Poll(batch);
+    for (const auto& r : batch) {
+      report.Add(r);
+    }
+    if (!json && !batch.empty()) {
+      std::fprintf(stderr,
+                   "follow: +%zu records (%" PRIu64 " total, %" PRIu64
+                   " txn aborts)\n",
+                   batch.size(), report.records, report.txn_aborts);
+    }
+    if (!IsOk(status) || follower.closed()) {
+      break;
+    }
+    ++polls;
+    ::usleep(static_cast<useconds_t>(interval_ms * 1000));
+  }
+  if (json) {
+    PrintReplayJson("follow", path, report, follower.stats(), status);
+  } else {
+    PrintReplayText("follow", path, report, follower.stats(), status);
+  }
+  return ReplayExitCode(status);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
   uint64_t invocations = 2000;
+  uint64_t interval_ms = 100;
+  std::string spool_path;    // --spool: replay.
+  std::string follow_path;   // --follow: tail.
+  std::string spool_out;     // --spool-out: spool the self-test run.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
     } else if (std::strcmp(argv[i], "--invocations") == 0 && i + 1 < argc) {
       invocations = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
+      interval_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--spool") == 0 && i + 1 < argc) {
+      spool_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--follow") == 0 && i + 1 < argc) {
+      follow_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--spool-out") == 0 && i + 1 < argc) {
+      spool_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: graftstat [--json] [--invocations N]\n");
+      std::fprintf(stderr,
+                   "usage: graftstat [--json] [--invocations N] "
+                   "[--spool-out FILE]\n"
+                   "       graftstat --spool FILE [--json]\n"
+                   "       graftstat --follow FILE [--json] "
+                   "[--interval-ms N]\n");
       return 2;
     }
   }
 
+  if (!spool_path.empty()) {
+    return RunSpoolReplay(spool_path, json);
+  }
+  if (!follow_path.empty()) {
+    return RunSpoolFollow(follow_path, json, interval_ms == 0 ? 1 : interval_ms);
+  }
+
   vino::trace::SetEnabled(true);
+
+  // Deterministic spooling for the self-test: drain every batch of
+  // invocations (a batch's records fit the ring several times over), so the
+  // spooled stream is lossless and a replayed fit must equal the live one.
+  std::unique_ptr<vino::spool::SpoolDrainer> drainer;
+  if (!spool_out.empty()) {
+    auto started = vino::spool::SpoolDrainer::Start({.path = spool_out});
+    if (!started.ok()) {
+      std::fprintf(stderr, "graftstat: cannot open --spool-out '%s'\n",
+                   spool_out.c_str());
+      return 1;
+    }
+    drainer = std::move(started.value());
+  }
 
   TxnManager txn_manager;
   std::vector<std::unique_ptr<TxnLock>> locks;
@@ -160,6 +425,12 @@ int main(int argc, char** argv) {
                               p.base_undo + (i / 2) % 5,
                               p.aborts ? uint64_t{1} : uint64_t{0}};
     (void)RunGraftInvocation(txn_manager, graft, args, exec);
+    if (drainer != nullptr && (i + 1) % 128 == 0) {
+      drainer->DrainNow();  // Single ring, ~8 records/invocation: no wrap.
+    }
+  }
+  if (drainer != nullptr) {
+    drainer->Stop();  // Final drain + close trailer.
   }
 
   // ---- Collect --------------------------------------------------------
@@ -177,16 +448,34 @@ int main(int argc, char** argv) {
   const Quantiles commit_q = Read(txn_manager.commit_latency());
   const Quantiles abort_q = Read(txn_manager.abort_latency());
   const AbortCostModel::Fitted global_fit = txn_manager.abort_cost().Fit();
+  // The same quantity a spool replay's global model reconstructs from
+  // kAbortCost records: every graft's invocation-level abort samples, as
+  // one fit. (The kernel-wide model above is txn-internal abort cost — a
+  // narrower window — so the two fits legitimately differ.)
+  AbortCostModel graft_union;
+  for (const auto& g : grafts) {
+    graft_union.Merge(g->abort_cost());
+  }
+  const AbortCostModel::Fitted graft_union_fit = graft_union.Fit();
 
   // ---- Report ---------------------------------------------------------
   if (json) {
     std::printf("{\n  \"invocations\": %" PRIu64 ",\n", invocations);
+    if (drainer != nullptr) {
+      const vino::spool::SpoolDrainer::Stats ds = drainer->stats();
+      std::printf("  \"spool_out\": {\"path\": \"%s\", \"records\": %" PRIu64
+                  ", \"batches\": %" PRIu64 ", \"lost_total\": %" PRIu64
+                  "},\n",
+                  spool_out.c_str(), ds.records, ds.batches, ds.lost_total);
+    }
     std::printf("  \"txn\": {\"begins\": %" PRIu64 ", \"commits\": %" PRIu64
                 ", \"aborts\": %" PRIu64 "},\n",
                 txn.begins, txn.commits, txn.aborts);
     std::printf("  \"trace\": {\"records\": %" PRIu64 ", \"dropped\": %" PRIu64
-                ", \"rings\": %" PRIu64 ", \"events\": {",
-                snap_stats.records, snap_stats.dropped, snap_stats.rings);
+                ", \"overwritten\": %" PRIu64 ", \"rings\": %" PRIu64
+                ", \"events\": {",
+                snap_stats.records, snap_stats.dropped, snap_stats.overwritten,
+                snap_stats.rings);
     bool first = true;
     for (const auto& [name, count] : event_counts) {
       std::printf("%s\"%s\": %" PRIu64, first ? "" : ", ", name.c_str(), count);
@@ -202,6 +491,8 @@ int main(int argc, char** argv) {
     std::printf("},\n");
     std::printf("  \"abort_cost_global\": ");
     PrintFitJson(global_fit);
+    std::printf(",\n  \"abort_cost_grafts\": ");
+    PrintFitJson(graft_union_fit);
     std::printf(",\n  \"grafts\": [\n");
     for (size_t i = 0; i < grafts.size(); ++i) {
       const auto& g = grafts[i];
@@ -224,28 +515,30 @@ int main(int argc, char** argv) {
               txn.begins, txn.commits, txn.aborts);
 
   std::printf("flight recorder: %" PRIu64 " records (%" PRIu64
-              " dropped to wrap-around, %" PRIu64 " rings)\n",
-              snap_stats.records, snap_stats.dropped, snap_stats.rings);
+              " dropped to wrap-around, %" PRIu64 " overwritten ever, %" PRIu64
+              " rings)\n",
+              snap_stats.records, snap_stats.dropped, snap_stats.overwritten,
+              snap_stats.rings);
   for (const auto& [name, count] : event_counts) {
     std::printf("  %-16s %" PRIu64 "\n", name.c_str(), count);
+  }
+  if (drainer != nullptr) {
+    const vino::spool::SpoolDrainer::Stats ds = drainer->stats();
+    std::printf("spooled: %" PRIu64 " records in %" PRIu64 " batches -> %s "
+                "(%" PRIu64 " lost)\n",
+                ds.records, ds.batches, spool_out.c_str(), ds.lost_total);
   }
   std::printf("\n");
 
   std::printf("latency (ns, bucket upper bounds):\n");
-  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
-              " mean=%.0f\n",
-              "invoke", invoke_q.p50, invoke_q.p95, invoke_q.p99,
-              invoke_q.mean);
-  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
-              " mean=%.0f\n",
-              "commit", commit_q.p50, commit_q.p95, commit_q.p99,
-              commit_q.mean);
-  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
-              " mean=%.0f\n\n",
-              "abort", abort_q.p50, abort_q.p95, abort_q.p99, abort_q.mean);
+  PrintQuantilesText("invoke", invoke_q);
+  PrintQuantilesText("commit", commit_q);
+  PrintQuantilesText("abort", abort_q);
+  std::printf("\n");
 
   std::printf("abort-cost model (paper §4.5: cost = a + b·L + c·G):\n");
   PrintFitText("kernel-wide", global_fit);
+  PrintFitText("all-grafts", graft_union_fit);
   std::printf("\nper-graft:\n");
   std::printf("  %-18s %12s %8s\n", "graft", "invocations", "aborts");
   for (const auto& g : grafts) {

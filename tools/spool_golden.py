@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Spool golden test: a spooled graftstat run replays to the same report.
+
+Runs the deterministic abort-heavy self-test workload with --spool-out (the
+drainer drains every 128 invocations, so the spooled stream is lossless),
+then replays the spool with --spool and checks that the replayed report
+matches the in-process one:
+
+  * per-graft invocation and abort counts are identical,
+  * the per-graft and kernel-wide abort-cost fits (a + b.L + c.G) agree to
+    within printing precision (the replayed model consumes the exact same
+    integer samples, mirrored into kAbortCost records),
+  * invocation-latency quantiles are identical (same recorded durations),
+  * the spool itself reads back clean: closed, no loss, no corruption.
+
+Finally --follow on the closed spool must terminate (close trailer) and
+exit 0.
+
+Usage: spool_golden.py <graftstat-binary> <workdir>
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+INVOCATIONS = 1024
+
+
+def fail(message):
+    print(f"spool_golden: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_json(argv):
+    proc = subprocess.run(argv, capture_output=True, text=True, timeout=120)
+    if proc.returncode != 0:
+        fail(f"{' '.join(argv)} exited {proc.returncode}:\n{proc.stderr}")
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"{' '.join(argv)} printed invalid JSON ({e}):\n{proc.stdout}")
+
+
+def check_fit_close(label, live, replay):
+    if live["valid"] != replay["valid"]:
+        fail(f"{label}: fit validity diverged: live {live} vs replay {replay}")
+    if not live["valid"]:
+        return
+    if live["samples"] != replay["samples"]:
+        fail(f"{label}: sample counts diverged: "
+             f"{live['samples']} vs {replay['samples']}")
+    # Identical integer inputs -> identical double fits; the only slack
+    # needed is the %.1f printing granularity.
+    for key in ("a_ns", "b_ns", "c_ns", "mean_locks", "mean_undo",
+                "mean_cost_ns"):
+        a, b = live[key], replay[key]
+        if abs(a - b) > max(0.2, 1e-6 * max(abs(a), abs(b))):
+            fail(f"{label}: {key} diverged: live {a} vs replay {b}")
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <graftstat-binary> <workdir>")
+    graftstat, workdir = sys.argv[1], sys.argv[2]
+    os.makedirs(workdir, exist_ok=True)
+    spool = os.path.join(workdir, "golden.vspool")
+
+    live = run_json([graftstat, "--json", "--invocations", str(INVOCATIONS),
+                     "--spool-out", spool])
+    replay = run_json([graftstat, "--spool", spool, "--json"])
+
+    # The spooled stream must be lossless and intact, or nothing else holds.
+    if live["spool_out"]["lost_total"] != 0:
+        fail(f"live run lost records: {live['spool_out']}")
+    rs = replay["spool"]
+    if rs["status"] != "OK" or not rs["closed"] or rs["truncated"]:
+        fail(f"replayed spool not clean: {rs}")
+    if rs["corrupt_batches"] != 0 or rs["lost_total"] != 0:
+        fail(f"replayed spool lost or corrupt: {rs}")
+
+    # Transaction counts: one txn per invocation, same commit/abort split.
+    if live["txn"] != replay["txn"]:
+        fail(f"txn counts diverged: live {live['txn']} vs "
+             f"replay {replay['txn']}")
+
+    # Per-graft: join by trace_id; counts exact, fits within print precision.
+    live_grafts = {g["trace_id"]: g for g in live["grafts"]}
+    replay_grafts = {g["trace_id"]: g for g in replay["grafts"]}
+    if set(live_grafts) != set(replay_grafts):
+        fail(f"graft sets diverged: live {sorted(live_grafts)} vs "
+             f"replay {sorted(replay_grafts)}")
+    aborts_total = 0
+    for trace_id, lg in live_grafts.items():
+        rg = replay_grafts[trace_id]
+        name = lg.get("name", f"graft#{trace_id}")
+        if lg["invocations"] != rg["invocations"]:
+            fail(f"{name}: invocations diverged: "
+                 f"{lg['invocations']} vs {rg['invocations']}")
+        if lg["aborts"] != rg["aborts"]:
+            fail(f"{name}: aborts diverged: {lg['aborts']} vs {rg['aborts']}")
+        aborts_total += lg["aborts"]
+        check_fit_close(name, lg["abort_cost"], rg["abort_cost"])
+    if aborts_total == 0:
+        fail("workload produced no aborts; the golden test is vacuous")
+
+    # The replay's global model rebuilds the union of per-graft samples —
+    # compare it against the live report's merged "abort_cost_grafts" (the
+    # live "abort_cost_global" is the txn-internal model, a narrower cost
+    # window, and legitimately differs).
+    check_fit_close("all-grafts", live["abort_cost_grafts"],
+                    replay["abort_cost_global"])
+
+    # Same recorded durations -> identical latency histogram.
+    li, ri = live["latency"]["invoke"], replay["latency"]["invoke"]
+    for key in ("p50_ns", "p95_ns", "p99_ns"):
+        if li[key] != ri[key]:
+            fail(f"invoke latency {key} diverged: {li[key]} vs {ri[key]}")
+
+    # A closed spool must terminate --follow promptly, exit 0.
+    follow = run_json([graftstat, "--follow", spool, "--json",
+                       "--interval-ms", "10"])
+    if not follow["spool"]["closed"]:
+        fail(f"--follow did not see the close trailer: {follow['spool']}")
+    if follow["txn"] != live["txn"]:
+        fail(f"--follow txn counts diverged: {follow['txn']} vs {live['txn']}")
+
+    print(f"spool_golden: OK ({INVOCATIONS} invocations, "
+          f"{rs['records']} records, {aborts_total} aborts, "
+          f"{len(live_grafts)} grafts match)")
+
+
+if __name__ == "__main__":
+    main()
