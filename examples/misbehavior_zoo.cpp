@@ -11,11 +11,13 @@
 #include <atomic>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
 #include "src/base/log.h"
 #include "src/graft/loader.h"
 #include "src/mem/memory_system.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/isa.h"
 #include "src/sfi/misfit.h"
 #include "src/txn/accessor.h"
 #include "src/txn/txn_lock.h"
@@ -38,6 +40,21 @@ struct Zoo {
     Result<SignedGraft> sg = authority.Sign(*inst);
     Result<std::shared_ptr<Graft>> g = loader.Load(*sg, {kMallory, nullptr});
     return g.ok() ? *g : nullptr;
+  }
+
+  // A forged-toolchain graft: hand-written "instrumented" code with an
+  // attacker-chosen manifest, properly signed (the compromised pipeline
+  // holds the key). Only the load-time verifier stands in its way.
+  Status LoadForged(std::vector<Instruction> code,
+                    std::vector<uint32_t> declared = {}) {
+    Program p;
+    p.name = "forged";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code = std::move(code);
+    p.direct_call_ids = std::move(declared);
+    Result<SignedGraft> sg = authority.Sign(p);
+    return loader.Load(*sg, {kMallory, nullptr}).status();
   }
 };
 
@@ -242,6 +259,45 @@ void CovertDenialOfService(Zoo& zoo) {
   Check(!vas->eviction_point().grafted(), "hung graft removed");
 }
 
+// --- §2.6 Forged toolchain (beyond the paper) -------------------------------
+void ForgedToolchain(Zoo& zoo) {
+  std::printf("\n§2.6 Forged toolchain (load-time verifier)\n");
+
+  // The attacker controls the instrumenter and the signing key, so every
+  // graft below is correctly signed and claims `instrumented = true`. The
+  // paper's pipeline trusts that claim; our loader re-proves it.
+  const uint32_t internal = zoo.host.Register(
+      "zoo.root_shell",
+      [](HostCallContext&) -> Result<uint64_t> { return 1ull; }, false);
+
+  // (a) Manifest understates the call set: declares nothing, calls anything.
+  Check(zoo.LoadForged({Instruction{Op::kCall, 0, 0, 0, internal},
+                        Instruction{Op::kHalt, 0, 0, 0, 0}},
+                       /*declared=*/{}) == Status::kIllegalCall,
+        "undeclared direct call to internal function refused at load time");
+
+  // (b) A raw store with no kSandboxAddr — the instrumenter "forgot" one.
+  Check(zoo.LoadForged({Instruction{Op::kLoadImm, 1, 0, 0, 64},
+                        Instruction{Op::kSt64, 0, 1, 2, 0},
+                        Instruction{Op::kHalt, 0, 0, 0, 0}}) ==
+            Status::kVerifyFailed,
+        "unsandboxed store refused at load time");
+
+  // (c) A surviving kCallR that skips the run-time callable probe.
+  Check(zoo.LoadForged({Instruction{Op::kCallR, 0, 1, 0, 0},
+                        Instruction{Op::kHalt, 0, 0, 0, 0}}) ==
+            Status::kVerifyFailed,
+        "unchecked indirect call refused at load time");
+
+  // (d) Clobbering the sandbox mask register to widen every later access.
+  Check(zoo.LoadForged({Instruction{Op::kLoadImm, kSandboxMaskReg, 0, 0, -1},
+                        Instruction{Op::kSandboxAddr, kSandboxAddrReg, 1, 0, 0},
+                        Instruction{Op::kSt64, 0, kSandboxAddrReg, 2, 0},
+                        Instruction{Op::kHalt, 0, 0, 0, 0}}) ==
+            Status::kVerifyFailed,
+        "sandbox-mask clobber refused at load time");
+}
+
 }  // namespace
 
 int main() {
@@ -253,6 +309,7 @@ int main() {
   IncorrectInterfaces(zoo);
   AntisocialBehavior(zoo);
   CovertDenialOfService(zoo);
+  ForgedToolchain(zoo);
   std::printf("\nAll attacks contained; the kernel made forward progress "
               "throughout (Table 1 rules 1-9).\n");
   return 0;

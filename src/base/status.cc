@@ -44,6 +44,8 @@ std::string_view StatusName(Status s) {
       return "RESTRICTED_POINT";
     case Status::kBadGraft:
       return "BAD_GRAFT";
+    case Status::kVerifyFailed:
+      return "VERIFY_FAILED";
     case Status::kSfiTrap:
       return "SFI_TRAP";
     case Status::kSfiBadCall:

@@ -43,6 +43,9 @@ enum class Status : int32_t {
   kIllegalCall = -32,      // Direct call target is not graft-callable.
   kRestrictedPoint = -33,  // Graft point requires privilege.
   kBadGraft = -34,         // Malformed graft program.
+  kVerifyFailed = -35,     // Load-time verifier could not prove the sandbox
+                           // invariants (unsandboxed access, clobbered
+                           // sandbox register, non-converging analysis).
 
   // SFI virtual machine traps.
   kSfiTrap = -40,        // Load/store outside the sandbox (unsafe code only).

@@ -60,6 +60,7 @@ std::string_view EventName(Event e) {
     case Event::kGraftEjected:   return "graft-ejected";
     case Event::kPoolSaturated:  return "pool-saturated";
     case Event::kAbortCost:      return "abort-cost";
+    case Event::kGraftRejected:  return "graft-rejected";
   }
   return "?";
 }

@@ -80,6 +80,10 @@ enum class Event : uint16_t {
   // replay can re-fit a + b·L + c·G without the live process.
   kAbortCost,      // tag = min(G, 65535), a32 = L, a = graft trace id,
                    // b = abort cost ns.
+
+  // Loader (src/graft/loader.cc): the load-time verifier refused a graft.
+  // Appended after kAbortCost so existing spool files replay unchanged.
+  kGraftRejected,  // tag = Status reason, a32 = failing pc, b = code size.
 };
 
 [[nodiscard]] std::string_view EventName(Event e);

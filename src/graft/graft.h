@@ -56,6 +56,13 @@ class Graft {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] bool is_native() const { return native_fn_ != nullptr; }
   [[nodiscard]] const Program& program() const { return program_; }
+
+  // True when the loader's sandbox verifier proved this graft's program
+  // (src/sfi/verifier.h); such grafts run the Vm's no-bounds-check fast
+  // path. Always false for native grafts — they have no program to prove.
+  [[nodiscard]] bool verified() const {
+    return !is_native() && program_.verified;
+  }
   [[nodiscard]] const NativeFn& native_fn() const { return native_fn_; }
   [[nodiscard]] GraftIdentity owner() const { return owner_; }
 

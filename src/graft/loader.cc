@@ -1,6 +1,8 @@
 #include "src/graft/loader.h"
 
 #include "src/base/log.h"
+#include "src/base/trace.h"
+#include "src/sfi/verifier.h"
 
 namespace vino {
 
@@ -46,8 +48,30 @@ Result<std::shared_ptr<Graft>> GraftLoader::Load(const SignedGraft& signed_graft
     return Status::kBadGraft;
   }
 
-  auto graft = std::make_shared<Graft>(program.name, program, spec.identity,
-                                       options_.image_kernel_size);
+  // 6. Load-time sandbox verification. Steps 1-5 trust what the toolchain
+  //    *claims* (signature, manifest, instrumented bit); this step trusts
+  //    only the instruction stream: the abstract interpreter re-proves that
+  //    every reachable call is declared + callable and every reachable
+  //    access is confined to the arena + guard zone. A program that passes
+  //    is marked verified, which lets the Vm delete its per-access bounds
+  //    branch.
+  VerifierOptions voptions;
+  voptions.host = host_;
+  const VerifierReport report = VerifySandbox(program, voptions);
+  if (!report.ok()) {
+    VINO_LOG_WARN << "loader: verifier rejected graft '" << program.name
+                  << "' at pc " << report.fail_pc << ": " << report.reason
+                  << " (" << StatusName(report.status) << ")";
+    VINO_TRACE(trace::Event::kGraftRejected, report.status, report.fail_pc, 0,
+               program.code.size());
+    return report.status;
+  }
+
+  Program verified_program = program;
+  verified_program.verified = true;
+  auto graft =
+      std::make_shared<Graft>(program.name, std::move(verified_program),
+                              spec.identity, options_.image_kernel_size);
   if (spec.sponsor != nullptr) {
     const Status bill = graft->account().BillTo(spec.sponsor);
     if (!IsOk(bill)) {

@@ -9,7 +9,12 @@
 //  4. link-time direct-call checking — every direct kCall id must be on the
 //     graft-callable list (Rules 4 and 7);
 //  5. arena match — the sandbox size the code was instrumented for must
-//     match the arena the kernel allocates.
+//     match the arena the kernel allocates;
+//  6. sandbox verification — an abstract interpreter (src/sfi/verifier.h)
+//     re-proves from the instruction stream alone that the declared call
+//     set covers the code's true calls and that every memory access is
+//     confined, so neither the instrumenter nor the manifest is trusted.
+//     Grafts that pass run the Vm's no-bounds-check fast path.
 //
 // Installation additionally enforces the restricted-point privilege check
 // (Rule 5) — that check lives in the graft points themselves and is

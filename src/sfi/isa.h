@@ -38,6 +38,18 @@ inline constexpr uint8_t kFirstReservedReg = 12;
 // Maximum number of argument registers (r0..r5).
 inline constexpr int kMaxArgs = 6;
 
+// Guard zone after the graft arena (classic Wahbe-style SFI). Every
+// MemoryImage allocates this many zeroed bytes beyond the arena's end, so a
+// sandboxed base plus a small positive constant offset is still confined to
+// image-owned memory without re-masking. This is what lets the instrumenter
+// elide the kSandboxAddr op on `already-sandboxed base + small offset`
+// accesses and lets the verifier prove them safe: for any access it admits,
+//   max address = arena_base + (arena_size - 1) + offset + width
+//               <= arena_base + arena_size + kSandboxGuardBytes
+// which is inside the image by construction. Kernel memory sits *below* the
+// arena, so guard spill can never touch kernel state.
+inline constexpr uint64_t kSandboxGuardBytes = 8192;
+
 enum class Op : uint8_t {
   kNop = 0,
   kHalt,     // Stop; r0 is the program's return value.
@@ -126,6 +138,32 @@ struct Instruction {
 [[nodiscard]] bool ReadsRs1(Op op);
 [[nodiscard]] bool ReadsRs2(Op op);
 [[nodiscard]] bool WritesRd(Op op);
+
+// kCall, kCallR, kCheckedCallR. Inline: used on the Vm dispatch path.
+[[nodiscard]] constexpr bool IsCall(Op op) {
+  return op == Op::kCall || op == Op::kCallR || op == Op::kCheckedCallR;
+}
+
+// Width in bytes of a load/store opcode; 0 for non-memory opcodes.
+// Inline: called once per interpreted memory access.
+[[nodiscard]] constexpr uint64_t AccessWidth(Op op) {
+  switch (op) {
+    case Op::kLd8:
+    case Op::kSt8:
+      return 1;
+    case Op::kLd16:
+    case Op::kSt16:
+      return 2;
+    case Op::kLd32:
+    case Op::kSt32:
+      return 4;
+    case Op::kLd64:
+    case Op::kSt64:
+      return 8;
+    default:
+      return 0;
+  }
+}
 
 }  // namespace vino
 

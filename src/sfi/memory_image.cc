@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "src/sfi/isa.h"
+
 namespace vino {
 
 MemoryImage::MemoryImage(uint64_t kernel_size, uint32_t arena_log2) {
@@ -17,10 +19,13 @@ MemoryImage::MemoryImage(uint64_t kernel_size, uint32_t arena_log2) {
     // in unsafe mode and the kernel region is never empty.
     arena_base_ = arena_size_;
   }
-  // 8 guard bytes: a sandboxed 64-bit access at the arena's final byte is
-  // wide enough to spill past the end; the guard keeps it inside the image
-  // (classic SFI tolerates this — confinement is to arena + a few bytes).
-  bytes_.assign(arena_base_ + arena_size_ + 8, 0);
+  // Guard zone: a sandboxed access at the arena's final byte may spill past
+  // the end — by the access width, and, for verified programs running the
+  // mask-elided fast path, by a small constant offset as well. The guard
+  // keeps every access the verifier admits inside image-owned memory
+  // (classic SFI tolerates this — confinement is to arena + guard; the
+  // kernel region sits *below* the arena and stays unreachable).
+  bytes_.assign(arena_base_ + arena_size_ + kSandboxGuardBytes, 0);
 }
 
 Status MemoryImage::Write(uint64_t addr, const void* src, uint64_t len) {

@@ -29,6 +29,15 @@ struct MisfitOptions {
   // log2 of the arena the instrumented program will be confined to. The
   // loader checks this against the graft's actual arena at load time.
   uint32_t arena_log2 = 16;
+
+  // Skip the kSandboxAddr op on an access whose base register was already
+  // sandboxed by the straight-line predecessor access and whose constant
+  // offset delta stays inside the image's guard zone. Safe because the
+  // load-time verifier (src/sfi/verifier.h) — not the one-sandbox-per-
+  // access pattern — is the enforcement boundary: it re-proves confinement
+  // for elided and non-elided streams alike. Off reproduces the paper's
+  // original one-check-per-access cost model for measurement.
+  bool elide_redundant_masks = true;
 };
 
 // Instruments `source`, returning a new program. Fails with:

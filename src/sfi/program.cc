@@ -61,6 +61,8 @@ class Reader {
 
   [[nodiscard]] bool AtEnd() const { return pos_ == bytes_.size(); }
 
+  [[nodiscard]] size_t Remaining() const { return bytes_.size() - pos_; }
+
  private:
   const std::vector<uint8_t>& bytes_;
   size_t pos_ = 0;
@@ -158,8 +160,12 @@ Result<Program> DecodeProgram(const std::vector<uint8_t>& bytes) {
     return Status::kBadGraft;
   }
 
+  // Decode-bomb defense: the counts are attacker-controlled, so bound them
+  // by the bytes actually present before any resize — a 30-byte file
+  // claiming 2^24 instructions must not allocate 256 MiB.
   uint32_t call_count = 0;
-  if (!r.GetU32(&call_count) || call_count > (1u << 20)) {
+  if (!r.GetU32(&call_count) || call_count > (1u << 20) ||
+      call_count > r.Remaining() / 4) {
     return Status::kBadGraft;
   }
   program.direct_call_ids.resize(call_count);
@@ -169,8 +175,10 @@ Result<Program> DecodeProgram(const std::vector<uint8_t>& bytes) {
     }
   }
 
+  // Each encoded instruction is 12 bytes: op/rd/rs1/rs2 plus a u64 imm.
   uint32_t code_count = 0;
-  if (!r.GetU32(&code_count) || code_count > (1u << 24)) {
+  if (!r.GetU32(&code_count) || code_count > (1u << 24) ||
+      code_count > r.Remaining() / 12) {
     return Status::kBadGraft;
   }
   program.code.resize(code_count);

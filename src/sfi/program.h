@@ -29,6 +29,13 @@ struct Program {
   // region matches, so the loader checks this against the graft's arena.
   uint32_t sandbox_log2 = 0;
 
+  // True once VerifySandbox (src/sfi/verifier.h) has proven the sandbox
+  // invariants for this exact instruction stream. Deliberately NOT part of
+  // the serialized container: a manifest cannot claim it, DecodeProgram
+  // never sets it, and the loader only sets it on its own verifier's
+  // verdict. The Vm skips the per-access InBounds branch when it is set.
+  bool verified = false;
+
   // Host-function ids named by direct kCall instructions, collected during
   // assembly. The dynamic linker checks each against the graft-callable
   // list before loading (paper §3.3: direct calls are checked at link time).

@@ -5,34 +5,19 @@
 namespace vino {
 namespace {
 
-// Width in bytes of a memory opcode.
-uint64_t AccessWidth(Op op) {
-  switch (op) {
-    case Op::kLd8:
-    case Op::kSt8:
-      return 1;
-    case Op::kLd16:
-    case Op::kSt16:
-      return 2;
-    case Op::kLd32:
-    case Op::kSt32:
-      return 4;
-    default:
-      return 8;
-  }
-}
-
-}  // namespace
-
-RunOutcome Vm::Run(const Program& program, MemoryImage* image,
+// The dispatch loop, stamped out twice: kCheckBounds=true is the classic
+// interpreter; kCheckBounds=false is the fast path for programs whose
+// load-time proof (src/sfi/verifier.h) already covers every access, with
+// the per-access InBounds branch compiled out rather than tested per
+// iteration.
+template <bool kCheckBounds>
+RunOutcome RunLoop(const Program& program, MemoryImage* image,
                    std::span<const uint64_t> args, const RunOptions& options,
-                   CallerIdentity identity) const {
-  RunOutcome outcome;
-  if (program.code.empty()) {
-    outcome.status = Status::kBadGraft;
-    return outcome;
-  }
-
+                   uint32_t poll_interval, const HostCallTable* host,
+                   CallerIdentity identity) {
+  // The register file must stay a non-escaping local of the dispatch loop:
+  // as a caller-provided buffer the compiler would have to assume graft
+  // stores through `mem` may alias it and spill/reload around every access.
   uint64_t regs[kNumRegisters] = {};
   const size_t argc = args.size() < kMaxArgs ? args.size() : kMaxArgs;
   for (size_t i = 0; i < argc; ++i) {
@@ -43,11 +28,11 @@ RunOutcome Vm::Run(const Program& program, MemoryImage* image,
     regs[kSandboxBaseReg] = image->arena_base();
   }
 
+  RunOutcome outcome;
   uint8_t* const mem = image->data();
   const size_t code_size = program.code.size();
   uint64_t fuel = options.fuel;
-  uint32_t until_poll = options.poll_interval;
-
+  uint32_t until_poll = poll_interval;
   uint64_t pc = 0;
   while (true) {
     if (pc >= code_size) {
@@ -61,7 +46,7 @@ RunOutcome Vm::Run(const Program& program, MemoryImage* image,
     --fuel;
     ++outcome.instructions;
     if (--until_poll == 0) {
-      until_poll = options.poll_interval;
+      until_poll = poll_interval;
       if (options.abort_requested != nullptr &&
           options.abort_requested(options.abort_ctx)) {
         outcome.status = Status::kTxnAborted;
@@ -156,8 +141,13 @@ RunOutcome Vm::Run(const Program& program, MemoryImage* image,
       case Op::kLd32:
       case Op::kLd64: {
         const uint64_t addr = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
-        const uint64_t width = AccessWidth(ins.op);
-        if (!image->InBounds(addr, width)) {
+        // The load opcodes are contiguous and width-ordered, so the access
+        // width is a shift — cheaper than a second switch on ins.op here in
+        // the dispatch loop.
+        static_assert(static_cast<int>(Op::kLd64) - static_cast<int>(Op::kLd8) == 3);
+        const uint64_t width =
+            uint64_t{1} << (static_cast<int>(ins.op) - static_cast<int>(Op::kLd8));
+        if (kCheckBounds && !image->InBounds(addr, width)) {
           // In a real kernel this is a wild read that may fault or return
           // garbage; we surface it as a trap.
           outcome.status = Status::kSfiTrap;
@@ -173,8 +163,10 @@ RunOutcome Vm::Run(const Program& program, MemoryImage* image,
       case Op::kSt32:
       case Op::kSt64: {
         const uint64_t addr = regs[ins.rs1] + static_cast<uint64_t>(ins.imm);
-        const uint64_t width = AccessWidth(ins.op);
-        if (!image->InBounds(addr, width)) {
+        static_assert(static_cast<int>(Op::kSt64) - static_cast<int>(Op::kSt8) == 3);
+        const uint64_t width =
+            uint64_t{1} << (static_cast<int>(ins.op) - static_cast<int>(Op::kSt8));
+        if (kCheckBounds && !image->InBounds(addr, width)) {
           outcome.status = Status::kSfiTrap;
           return outcome;
         }
@@ -225,13 +217,17 @@ RunOutcome Vm::Run(const Program& program, MemoryImage* image,
         } else {
           id = static_cast<uint32_t>(regs[ins.rs1]);
         }
-        if (ins.op == Op::kCheckedCallR && !host_->IsCallable(id)) {
+        // One probe serves both the callable check and the dispatch: the
+        // entry's graft_callable bit mirrors callable-list membership, so
+        // kCheckedCallR no longer pays a hash-table probe *and* a lookup.
+        const HostCallTable::Entry* entry = host->Lookup(id);
+        if (ins.op == Op::kCheckedCallR &&
+            (entry == nullptr || !entry->graft_callable)) {
           // Paper §3.3: "If the target function is not on the list, the
           // graft's transaction is aborted."
           outcome.status = Status::kSfiBadCall;
           return outcome;
         }
-        const HostCallTable::Entry* entry = host_->Lookup(id);
         if (entry == nullptr) {
           outcome.status = Status::kSfiTrap;  // Wild call.
           return outcome;
@@ -256,6 +252,36 @@ RunOutcome Vm::Run(const Program& program, MemoryImage* image,
         return outcome;
     }
   }
+}
+
+}  // namespace
+
+RunOutcome Vm::Run(const Program& program, MemoryImage* image,
+                   std::span<const uint64_t> args, const RunOptions& options,
+                   CallerIdentity identity) const {
+  if (program.code.empty()) {
+    RunOutcome outcome;
+    outcome.status = Status::kBadGraft;
+    return outcome;
+  }
+
+  // poll_interval == 0 means "poll as often as possible", not "never":
+  // without the clamp, the first `--until_poll` wraps to UINT32_MAX and
+  // silently disables cross-thread abort polling for ~4B instructions.
+  const uint32_t poll_interval =
+      options.poll_interval == 0 ? 1 : options.poll_interval;
+
+  // Verified programs (src/sfi/verifier.h) carry a load-time proof that
+  // every reachable access lands inside the arena + guard zone of whatever
+  // image initializes the sandbox registers, so the per-access InBounds
+  // branch is compiled out. The proof rests on the loop loading mask/base
+  // from the image, hence the instrumented qualifier.
+  if (program.verified && program.instrumented) {
+    return RunLoop<false>(program, image, args, options, poll_interval, host_,
+                          identity);
+  }
+  return RunLoop<true>(program, image, args, options, poll_interval, host_,
+                       identity);
 }
 
 }  // namespace vino

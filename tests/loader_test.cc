@@ -5,6 +5,7 @@
 
 #include "src/graft/loader.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/isa.h"
 #include "src/sfi/misfit.h"
 
 namespace vino {
@@ -145,6 +146,53 @@ TEST_F(LoaderTest, NativeUnsafeRequiresPrivilege) {
   EXPECT_EQ(loader_.LoadNativeUnsafe("n", fn, {kUser, nullptr}).status(),
             Status::kPermissionDenied);
   EXPECT_TRUE(loader_.LoadNativeUnsafe("n", fn, {kRoot, nullptr}).ok());
+}
+
+TEST_F(LoaderTest, RejectsForgedManifestDirectCall) {
+  // A compromised toolchain signs hand-written "instrumented" code whose
+  // manifest declares only the benign callable id while the code also calls
+  // the internal one. The pre-verifier loader link-checked the declared
+  // list and accepted this; the verifier stage reads the code.
+  Program p;
+  p.name = "forged";
+  p.instrumented = true;
+  p.sandbox_log2 = 16;
+  p.code = {
+      Instruction{Op::kCall, 0, 0, 0, callable_id_},
+      Instruction{Op::kCall, 0, 0, 0, internal_id_},
+      Instruction{Op::kHalt, 0, 0, 0, 0},
+  };
+  p.direct_call_ids = {callable_id_};
+  Result<SignedGraft> sg = authority_.Sign(p);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(loader_.Load(*sg, {kUser, nullptr}).status(), Status::kIllegalCall);
+}
+
+TEST_F(LoaderTest, RejectsForgedUncheckedIndirectCall) {
+  // Same threat model, register-indirect flavor: a kCallR the "instrumenter"
+  // left unrewritten would bypass the runtime callable probe entirely.
+  Program p;
+  p.name = "forged";
+  p.instrumented = true;
+  p.sandbox_log2 = 16;
+  p.code = {
+      Instruction{Op::kLoadImm, 1, 0, 0, internal_id_},
+      Instruction{Op::kCallR, 0, 1, 0, 0},
+      Instruction{Op::kHalt, 0, 0, 0, 0},
+  };
+  Result<SignedGraft> sg = authority_.Sign(p);
+  ASSERT_TRUE(sg.ok());
+  EXPECT_EQ(loader_.Load(*sg, {kUser, nullptr}).status(),
+            Status::kVerifyFailed);
+}
+
+TEST_F(LoaderTest, LoadedGraftsAreMarkedVerified) {
+  // The verified bit is a loader-session fact, never a container field:
+  // it exists only on programs this loader's own verifier passed.
+  Result<std::shared_ptr<Graft>> graft =
+      loader_.Load(MakeSigned(callable_id_), {kUser, nullptr});
+  ASSERT_TRUE(graft.ok());
+  EXPECT_TRUE((*graft)->verified());
 }
 
 TEST_F(LoaderTest, RejectsRawProgramEvenIfSomehowSigned) {

@@ -199,6 +199,28 @@ TEST_F(MisfitVmTest, FuelExhaustionStopsInfiniteLoop) {
   EXPECT_EQ(out.instructions, 10'000u);
 }
 
+TEST_F(MisfitVmTest, ZeroPollIntervalPollsEveryInstruction) {
+  // Regression: poll_interval == 0 used to wrap `--until_poll` to
+  // UINT32_MAX, silently disabling abort polling for ~4B instructions.
+  // It must mean "poll as often as possible" — the abort lands promptly.
+  Asm a("spin");
+  auto top = a.NewLabel();
+  a.Bind(top);
+  a.Jmp(top);
+  Result<Program> p = a.Finish();
+  ASSERT_TRUE(p.ok());
+  RunOptions options;
+  int polls = 0;
+  options.poll_interval = 0;
+  options.abort_ctx = &polls;
+  options.abort_requested = [](void* ctx) {
+    return ++*static_cast<int*>(ctx) >= 3;
+  };
+  const RunOutcome out = vm_.Run(*p, {}, options);
+  EXPECT_EQ(out.status, Status::kTxnAborted);
+  EXPECT_EQ(out.instructions, 3u);  // Clamped to every instruction.
+}
+
 TEST_F(MisfitVmTest, AbortPollStopsExecution) {
   Asm a("spin");
   auto top = a.NewLabel();
@@ -321,6 +343,31 @@ TEST_F(MisfitVmTest, BranchTargetsRemappedAcrossInsertions) {
 }
 
 TEST_F(MisfitVmTest, InstrumentationOverheadProportionalToMemoryOps) {
+  // Without elision, the paper's cost model: one sandbox op per access.
+  Asm a("dense");
+  const auto base = static_cast<int64_t>(image_.arena_base());
+  a.LoadImm(R1, base);
+  for (int i = 0; i < 50; ++i) {
+    a.St64(R1, R1, i * 8);
+  }
+  a.Halt();
+  Result<Program> p = a.Finish();
+  ASSERT_TRUE(p.ok());
+  MisfitOptions options{kArenaLog2};
+  options.elide_redundant_masks = false;
+  Result<Program> inst = Instrument(*p, options);
+  ASSERT_TRUE(inst.ok());
+  // One sandbox op per store.
+  EXPECT_EQ(inst->code.size(), p->code.size() + 50);
+  const RunOutcome raw = RunRaw(*p);
+  const RunOutcome safe = vm_.Run(*inst, {}, RunOptions{});
+  EXPECT_EQ(safe.instructions, raw.instructions + 50);
+}
+
+TEST_F(MisfitVmTest, ElisionCollapsesDenseAccessRuns) {
+  // With elision (the default), a dense same-base run needs one sandbox op
+  // total: later stores reuse the sandboxed address register with their
+  // small constant delta, staying inside the image's guard zone.
   Asm a("dense");
   const auto base = static_cast<int64_t>(image_.arena_base());
   a.LoadImm(R1, base);
@@ -332,11 +379,52 @@ TEST_F(MisfitVmTest, InstrumentationOverheadProportionalToMemoryOps) {
   ASSERT_TRUE(p.ok());
   Result<Program> inst = Instrument(*p, MisfitOptions{kArenaLog2});
   ASSERT_TRUE(inst.ok());
-  // One sandbox op per store.
-  EXPECT_EQ(inst->code.size(), p->code.size() + 50);
+  EXPECT_EQ(inst->code.size(), p->code.size() + 1);
   const RunOutcome raw = RunRaw(*p);
   const RunOutcome safe = vm_.Run(*inst, {}, RunOptions{});
-  EXPECT_EQ(safe.instructions, raw.instructions + 50);
+  EXPECT_EQ(safe.status, Status::kOk);
+  EXPECT_EQ(safe.instructions, raw.instructions + 1);
+  // The stores landed where the raw program put them.
+  for (int i = 0; i < 50; ++i) {
+    const uint64_t addr = image_.arena_base() + static_cast<uint64_t>(i) * 8;
+    Result<uint64_t> v = image_.ReadU64(addr);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(*v, static_cast<uint64_t>(base)) << "slot " << i;
+  }
+}
+
+TEST_F(MisfitVmTest, ElisionStopsAtBranchTargetsAndRedefinitions) {
+  // A branch target or a base-register redefinition kills the reuse fact;
+  // the next access must re-sandbox.
+  Asm a("edges");
+  const auto base = static_cast<int64_t>(image_.arena_base());
+  auto skip = a.NewLabel();
+  a.LoadImm(R1, base);
+  a.St64(R1, R1);          // sandbox + store
+  a.St64(R1, R1, 8);       // elided (delta 8)
+  a.AddI(R1, R1, 16);      // base redefined: fact dead
+  a.St64(R1, R1);          // sandbox + store
+  a.Beq(R2, R3, skip);
+  a.Bind(skip);            // branch target: fact dead
+  a.St64(R1, R1);          // sandbox + store
+  a.Halt();
+  Result<Program> p = a.Finish();
+  ASSERT_TRUE(p.ok());
+  Result<Program> inst = Instrument(*p, MisfitOptions{kArenaLog2});
+  ASSERT_TRUE(inst.ok());
+  // 4 stores, 3 sandbox ops (only the delta-8 store elides).
+  EXPECT_EQ(inst->code.size(), p->code.size() + 3);
+  // Offsets beyond the guard zone never elide.
+  Asm b("far");
+  b.LoadImm(R1, base);
+  b.St64(R1, R1);
+  b.St64(R1, R1, 1 << 20);  // Way past the guard: re-sandbox.
+  b.Halt();
+  Result<Program> q = b.Finish();
+  ASSERT_TRUE(q.ok());
+  Result<Program> qinst = Instrument(*q, MisfitOptions{kArenaLog2});
+  ASSERT_TRUE(qinst.ok());
+  EXPECT_EQ(qinst->code.size(), q->code.size() + 2);
 }
 
 }  // namespace

@@ -13,6 +13,11 @@
 //  P6. Eviction safety: the page daemon never evicts a wired page and
 //      never lets a graft evict across address spaces, for random graft
 //      answers.
+//  P7. Verifier soundness: any program the load-time verifier accepts can
+//      run with the per-access bounds checks deleted — under arbitrary
+//      entry arguments — without touching kernel memory; and real
+//      instrumenter output always lands in the accept set with unchanged
+//      semantics.
 
 #include <gtest/gtest.h>
 
@@ -23,8 +28,10 @@
 #include "src/mem/memory_system.h"
 #include "src/resource/account.h"
 #include "src/sfi/assembler.h"
+#include "src/sfi/isa.h"
 #include "src/sfi/memory_image.h"
 #include "src/sfi/misfit.h"
+#include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 #include "src/txn/accessor.h"
 #include "src/txn/txn_manager.h"
@@ -179,6 +186,121 @@ TEST_P(SandboxFuzzTest, EncodeDecodeRoundTripsRandomPrograms) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SandboxFuzzTest,
                          ::testing::Values(1, 42, 1337, 0xdeadbeef, 99999));
+
+// ---------------------------------------------------------------------
+// P7: verifier soundness.
+// ---------------------------------------------------------------------
+
+class VerifierFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifierFuzzTest, AcceptedForgeriesAreConfinedWithoutRuntimeChecks) {
+  // Random forged instruction streams (hand-marked "instrumented", so no
+  // instrumenter discipline) probe the analysis directly: whatever the
+  // verifier accepts runs with Program::verified set — every per-access
+  // InBounds branch deleted — under fuzzed entry arguments, and a kernel
+  // canary checks that the accept set really is the confined set.
+  Rng rng(GetParam() ^ 0x5afe);
+  HostCallTable host;
+  size_t accepted = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    Program p;
+    p.name = "forged-fuzz";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    const auto len = static_cast<int>(rng.Range(2, 24));
+    const auto low = [&rng] { return static_cast<uint8_t>(rng.Below(12)); };
+    for (int i = 0; i < len; ++i) {
+      // Mem-op bases are r14 (maybe sandboxed) or a random low register;
+      // offsets straddle the guard boundary so both verdicts occur.
+      const uint8_t base = rng.Chance(0.7) ? kSandboxAddrReg : low();
+      const auto off = static_cast<int64_t>(rng.Below(2 * kSandboxGuardBytes));
+      Instruction ins{};
+      switch (rng.Below(10)) {
+        case 0: ins = {Op::kLoadImm, low(), 0, 0,
+                       static_cast<int64_t>(rng.Next())}; break;
+        case 1: ins = {Op::kAdd, low(), low(), low(), 0}; break;
+        case 2: ins = {Op::kSub, low(), low(), low(), 0}; break;
+        case 3: ins = {Op::kXor, low(), low(), low(), 0}; break;
+        case 4: ins = {Op::kAddI, low(), low(), 0,
+                       static_cast<int64_t>(rng.Below(4096))}; break;
+        case 5: ins = {Op::kSandboxAddr, kSandboxAddrReg, low(), 0, 0}; break;
+        case 6: ins = {Op::kLd64, low(), base, 0, off}; break;
+        case 7: ins = {Op::kSt64, 0, base, low(), off}; break;
+        case 8: ins = {Op::kMov, low(), rng.Chance(0.2)
+                           ? kSandboxBaseReg : low(), 0, 0}; break;
+        default:
+          // Forward branch only, so accepted programs terminate.
+          ins = {Op::kBeq, 0, low(), low(),
+                 static_cast<int64_t>(i + 1 + rng.Below(
+                     static_cast<uint64_t>(len - i)))};
+          break;
+      }
+      p.code.push_back(ins);
+    }
+    p.code.push_back(Instruction{Op::kHalt, 0, 0, 0, 0});
+    if (VerifyProgram(p) != Status::kOk || !VerifySandbox(p).ok()) {
+      continue;
+    }
+    ++accepted;
+
+    Program verified = p;
+    verified.verified = true;
+    MemoryImage image(8192, 16);
+    for (uint64_t i = 0; i < image.kernel_size(); ++i) {
+      image.data()[i] = static_cast<uint8_t>(i * 29 + 3);
+    }
+    uint64_t args[kMaxArgs];
+    for (uint64_t& arg : args) {
+      arg = rng.Next();  // Includes kernel addresses and wild pointers.
+    }
+    Vm vm(&image, &host);
+    const RunOutcome out = vm.Run(verified, args, RunOptions{});
+    EXPECT_EQ(out.status, Status::kOk)
+        << "seed=" << GetParam() << " trial=" << trial;
+    for (uint64_t i = 0; i < image.kernel_size(); ++i) {
+      ASSERT_EQ(image.data()[i], static_cast<uint8_t>(i * 29 + 3))
+          << "kernel byte " << i << " corrupted through the verified fast "
+          << "path (seed=" << GetParam() << " trial=" << trial << ")";
+    }
+  }
+  // The property must not hold vacuously: some forgeries verify.
+  EXPECT_GT(accepted, 0u) << "seed=" << GetParam();
+}
+
+TEST_P(VerifierFuzzTest, InstrumenterOutputVerifiesAndFastPathAgrees) {
+  // Completeness half of P7: everything the real pipeline emits is in the
+  // accept set, and deleting the bounds checks never changes its meaning.
+  Rng rng(GetParam() ^ 0xfa57);
+  HostCallTable host;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Program raw = RandomProgram(rng, 30);
+    Result<Program> inst = Instrument(raw, MisfitOptions{16});
+    ASSERT_TRUE(inst.ok());
+    const VerifierReport report = VerifySandbox(*inst);
+    ASSERT_TRUE(report.ok()) << report.reason << " at pc " << report.fail_pc
+                             << " (seed=" << GetParam() << " trial=" << trial
+                             << ")";
+
+    uint64_t args[kMaxArgs];
+    for (uint64_t& arg : args) {
+      arg = rng.Next();
+    }
+    MemoryImage checked_img(8192, 16);
+    MemoryImage verified_img(8192, 16);
+    Vm vm(&host);
+    const RunOutcome checked =
+        vm.Run(*inst, &checked_img, args, RunOptions{});
+    Program verified = *inst;
+    verified.verified = true;
+    const RunOutcome fast = vm.Run(verified, &verified_img, args, RunOptions{});
+    EXPECT_EQ(fast.status, checked.status);
+    EXPECT_EQ(fast.ret, checked.ret);
+    EXPECT_EQ(fast.instructions, checked.instructions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzzTest,
+                         ::testing::Values(2, 77, 2026, 0xfade, 40404));
 
 // ---------------------------------------------------------------------
 // P3: undo soundness under random nested transaction trees.

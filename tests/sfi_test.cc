@@ -33,6 +33,22 @@ TEST(IsaTest, Classification) {
   EXPECT_TRUE(ReadsRs2(Op::kSt64));  // Store value register.
 }
 
+TEST(IsaTest, CallClassification) {
+  EXPECT_TRUE(IsCall(Op::kCall));
+  EXPECT_TRUE(IsCall(Op::kCallR));
+  EXPECT_TRUE(IsCall(Op::kCheckedCallR));
+  EXPECT_FALSE(IsCall(Op::kJmp));
+  EXPECT_FALSE(IsCall(Op::kSandboxAddr));
+}
+
+TEST(IsaTest, AccessWidth) {
+  EXPECT_EQ(AccessWidth(Op::kLd8), 1u);
+  EXPECT_EQ(AccessWidth(Op::kSt16), 2u);
+  EXPECT_EQ(AccessWidth(Op::kLd32), 4u);
+  EXPECT_EQ(AccessWidth(Op::kSt64), 8u);
+  EXPECT_EQ(AccessWidth(Op::kAdd), 0u);
+}
+
 TEST(VerifyTest, EmptyProgramRejected) {
   Program p;
   EXPECT_EQ(VerifyProgram(p), Status::kBadGraft);
@@ -111,6 +127,50 @@ TEST(EncodeTest, TruncatedBytesRejected) {
 TEST(EncodeTest, BadMagicRejected) {
   std::vector<uint8_t> bytes(32, 0);
   EXPECT_FALSE(DecodeProgram(bytes).ok());
+}
+
+namespace {
+void PatchU32(std::vector<uint8_t>& bytes, size_t pos, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[pos + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (i * 8));
+  }
+}
+}  // namespace
+
+TEST(EncodeTest, DecodeBombCountsRejected) {
+  // A tiny container whose attacker-controlled counts claim huge tables
+  // must be refused before any resize — decoding a 50-byte file may not
+  // allocate megabytes. Layout: magic, version, instrumented, sandbox_log2,
+  // name_len("t"), name, call_count, code_count, code...
+  Asm a("t");
+  a.LoadImm(R0, 1);
+  a.Halt();
+  Result<Program> p = a.Finish();
+  ASSERT_TRUE(p.ok());
+  const std::vector<uint8_t> good = EncodeProgram(*p);
+  ASSERT_TRUE(DecodeProgram(good).ok());
+  const size_t call_count_pos = 16 + 4 + p->name.size();
+  const size_t code_count_pos = call_count_pos + 4;
+
+  // call_count far beyond the bytes present (and beyond the hard cap).
+  std::vector<uint8_t> bomb = good;
+  PatchU32(bomb, call_count_pos, 0xffffffffu);
+  EXPECT_FALSE(DecodeProgram(bomb).ok());
+
+  // call_count under the 2^20 hard cap but over the remaining-bytes bound.
+  bomb = good;
+  PatchU32(bomb, call_count_pos, 1u << 16);
+  EXPECT_FALSE(DecodeProgram(bomb).ok());
+
+  // code_count claiming 2^24 instructions in a two-instruction file.
+  bomb = good;
+  PatchU32(bomb, code_count_pos, 1u << 24);
+  EXPECT_FALSE(DecodeProgram(bomb).ok());
+
+  // code_count under the cap but over what the bytes can hold.
+  bomb = good;
+  PatchU32(bomb, code_count_pos, 1u << 12);
+  EXPECT_FALSE(DecodeProgram(bomb).ok());
 }
 
 TEST(AsmTest, UnboundLabelFails) {

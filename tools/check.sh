@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate, mechanically catching what code review misses:
 #   1. normal build + full ctest suite,
-#   2. flaky-dispatch guard: robustness_test repeated 20x until-fail (the
+#   2. offline verifier audit: vverify (the same VerifySandbox analysis the
+#      loader runs) must accept every example graft graftc emits, and the
+#      misbehavior zoo — whose forged-toolchain grafts the loader's verifier
+#      refuses at load time — must contain every attack,
+#   3. flaky-dispatch guard: robustness_test repeated 20x until-fail (the
 #      mixed sync/async event case was an 18/20 flake before the worker
 #      pool; any regression shows up here),
-#   3. flight recorder live: the whole suite re-run with VINO_TRACE=1 (every
+#   4. flight recorder live: the whole suite re-run with VINO_TRACE=1 (every
 #      instrumentation site exercised with the ring hot) plus a graftstat
 #      --json smoke test,
-#   4. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
+#   5. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
 #      races (Drain vs DispatchAsync, pool lifecycle, txn locks, ring
 #      snapshot-during-write) fail CI instead of shipping,
-#   5. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
+#   6. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
 #      whose global operator-new counter conflicts with ASan's allocator
 #      interposition), so heap misuse and undefined behaviour in the Vm /
 #      packing / undo-replay paths fail CI too.
@@ -35,16 +39,38 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/5] build + full test suite =="
+echo "== [1/6] build + full test suite =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/5] flaky-dispatch guard: robustness_test x20 =="
+echo "== [2/6] offline verifier audit: vverify over example grafts + zoo =="
+AUDIT_DIR="$PWD/build/graft-audit"
+rm -rf "$AUDIT_DIR" && mkdir -p "$AUDIT_DIR"
+for src in examples/grafts/*.vasm; do
+  name="$(basename "${src%.vasm}")"
+  build/tools/graftc "$src" "$AUDIT_DIR/$name.graft"
+done
+# Offline audit must agree with the loader: every graft the toolchain emits
+# passes the identical VerifySandbox analysis.
+build/tools/vverify "$AUDIT_DIR"/*.graft
+# The zoo's forged-toolchain grafts take the other side of the agreement:
+# the in-kernel loader refuses each one ([SURVIVED], never [ FAILED ]).
+build/examples/misbehavior_zoo > "$AUDIT_DIR/zoo.out"
+if grep -q 'FAILED' "$AUDIT_DIR/zoo.out"; then
+  echo "misbehavior zoo reported a failed containment:" >&2
+  grep 'FAILED' "$AUDIT_DIR/zoo.out" >&2
+  exit 1
+fi
+grep -q 'Forged toolchain' "$AUDIT_DIR/zoo.out" || {
+  echo "zoo output missing the forged-toolchain section" >&2; exit 1; }
+echo "verifier audit: ok (offline vverify and in-kernel loader agree)"
+
+echo "== [3/6] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
 
-echo "== [3/5] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
+echo "== [4/6] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
 # VINO_SPOOL makes every VinoKernel constructed by the suite spool its
 # flight recorder to a per-kernel file; every spool produced must then
 # parse cleanly with graftstat --spool (exit 0 tolerates truncated tails,
@@ -87,11 +113,11 @@ if [[ "$BENCH" == "1" ]]; then
 fi
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [4/5] [5/5] skipped (--fast) =="
+  echo "== [5/6] [6/6] skipped (--fast) =="
   exit 0
 fi
 
-echo "== [4/5] ThreadSanitizer: concurrency-heavy tests =="
+echo "== [5/6] ThreadSanitizer: concurrency-heavy tests =="
 cmake -B build-tsan -S . -DVINO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSAN_OPTIONS: fail the test process on the first report; tools/tsan.supp
@@ -101,7 +127,7 @@ TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
   -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test|trace_spool_test' \
   --output-on-failure -j "$JOBS"
 
-echo "== [5/5] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
+echo "== [6/6] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
 cmake -B build-asan -S . -DVINO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 # alloc_test is excluded: it replaces global operator new to count heap

@@ -1,0 +1,136 @@
+// vverify: offline sandbox-verifier audit for signed graft containers.
+//
+// Runs the exact analysis the kernel loader runs at load time
+// (src/sfi/verifier.h) against graft files on disk, so a toolchain or CI
+// pipeline can answer "would the kernel accept this graft?" without a
+// kernel: structural checks, the sandbox-invariant proof, and the
+// true-direct-call-set extraction, printed per file. The loader and this
+// tool share one deterministic verifier, so their verdicts always agree
+// (tools/check.sh asserts exactly that over the example grafts).
+//
+// Note the one check vverify cannot reproduce offline: graft-callable
+// membership is a property of the running kernel's host table, so call ids
+// are extracted and printed here but only link-checked by the loader.
+//
+// Usage: vverify [-k key] [-q] file.graft...
+//   -k key   also verify the container signature against `key`
+//   -q       only print failures
+//
+// Exit status: 0 if every file verifies, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/sfi/signing.h"
+#include "src/sfi/verifier.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr, "usage: vverify [-k key] [-q] file.graft...\n");
+  return 2;
+}
+
+std::string JoinIds(const std::vector<uint32_t>& ids) {
+  if (ids.empty()) {
+    return "(none)";
+  }
+  std::string out;
+  for (const uint32_t id : ids) {
+    if (!out.empty()) {
+      out += " ";
+    }
+    out += std::to_string(id);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string key;
+  bool quiet = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-k" && i + 1 < argc) {
+      key = argv[++i];
+    } else if (arg == "-q") {
+      quiet = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    return Usage();
+  }
+
+  int failures = 0;
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "vverify: cannot open %s\n", path.c_str());
+      ++failures;
+      continue;
+    }
+    const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                     std::istreambuf_iterator<char>());
+    vino::Result<vino::SignedGraft> graft = vino::DeserializeSignedGraft(bytes);
+    if (!graft.ok()) {
+      std::fprintf(stderr, "vverify: %s: not a signed graft: %s\n",
+                   path.c_str(),
+                   std::string(vino::StatusName(graft.status())).c_str());
+      ++failures;
+      continue;
+    }
+    if (!key.empty()) {
+      const vino::SigningAuthority authority(key);
+      if (!authority.Verify(*graft)) {
+        std::fprintf(stderr,
+                     "vverify: %s: REJECT signature (key mismatch or "
+                     "tampered container)\n",
+                     path.c_str());
+        ++failures;
+        continue;
+      }
+    }
+
+    const vino::Program& program = graft->program;
+    const vino::VerifierReport report = vino::VerifySandbox(program);
+    if (!report.ok()) {
+      std::fprintf(stderr, "vverify: %s: REJECT %s at pc %llu: %s\n",
+                   path.c_str(),
+                   std::string(vino::StatusName(report.status)).c_str(),
+                   static_cast<unsigned long long>(report.fail_pc),
+                   report.reason.c_str());
+      ++failures;
+      continue;
+    }
+
+    // The verifier's extracted call set must be covered by the manifest
+    // (require_declared_calls already enforced it); show both so an audit
+    // can spot over-declared manifests too.
+    if (!quiet) {
+      std::printf("vverify: %s: OK '%s' — %zu/%zu instructions reached, "
+                  "%zu loads + %zu stores proven in-sandbox, "
+                  "%zu dynamic indirect calls\n",
+                  path.c_str(), program.name.c_str(),
+                  report.instructions_reached, program.code.size(),
+                  report.loads_proven, report.stores_proven,
+                  report.dynamic_indirect_calls);
+      std::printf("  true direct call ids:     %s\n",
+                  JoinIds(report.direct_call_ids).c_str());
+      std::printf("  declared direct call ids: %s\n",
+                  JoinIds(program.direct_call_ids).c_str());
+      if (!report.const_indirect_ids.empty()) {
+        std::printf("  constant indirect ids:    %s\n",
+                    JoinIds(report.const_indirect_ids).c_str());
+      }
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
