@@ -19,6 +19,8 @@
 #include "src/graft/function_point.h"
 #include "src/sfi/assembler.h"
 #include "src/sfi/misfit.h"
+#include "src/sfi/threaded_vm.h"
+#include "src/sfi/verifier.h"
 #include "src/txn/watchdog.h"
 
 namespace vino {
@@ -142,6 +144,83 @@ void BM_WrapperVmAbort(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WrapperVmAbort);
+
+// Execution-tier ablation through the full wrapper: the same small
+// (~24-op) compute+memory graft as interpreted Tier 0, direct-threaded
+// Tier 1, and equivalent native code. The native number is the floor the
+// tiers chase; Tier 1 recovers the dispatch share of the gap while keeping
+// the sandbox.
+std::shared_ptr<Graft> SmallProgramGraft(bool tier1) {
+  Asm a("small");
+  a.LoadImm(R1, 0);
+  a.LoadImm(R2, 1);
+  for (int i = 0; i < 8; ++i) {
+    a.Add(R3, R3, R2);
+    a.St64(R1, R3, i * 8);
+    a.Ld64(R4, R1, i * 8);
+  }
+  a.Mov(R0, R4);
+  a.Halt();
+  MisfitOptions options{16};
+  options.elide_redundant_masks = true;
+  Result<Program> inst = Instrument(*a.Finish(), options);
+  Program p = *inst;
+  if (!VerifySandbox(p).ok()) {
+    return nullptr;
+  }
+  p.verified = true;
+  if (tier1) {
+    p.compiled = CompileThreaded(p);
+    if (p.compiled == nullptr) {
+      return nullptr;
+    }
+  }
+  return std::make_shared<Graft>("small", std::move(p), kRoot, 4096);
+}
+
+void BM_WrapperTierSmall(benchmark::State& state) {
+  Fixture f;
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &f.txn, &f.host, nullptr);
+  auto graft = SmallProgramGraft(state.range(0) == 1);
+  if (graft == nullptr) {
+    state.SkipWithError("bench graft failed to build");
+    return;
+  }
+  (void)point.Replace(std::move(graft));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperTierSmall)->ArgName("tier")->Arg(0)->Arg(1);
+
+void BM_WrapperNativeSmall(benchmark::State& state) {
+  // The native floor for the tier ablation: the same arithmetic and
+  // stores, as host C++ against the graft arena.
+  Fixture f;
+  FunctionGraftPoint point(
+      "p", [](std::span<const uint64_t>) -> uint64_t { return 0; },
+      FunctionGraftPoint::Config{}, &f.txn, &f.host, nullptr);
+  auto graft = std::make_shared<Graft>(
+      "small-native",
+      [](std::span<const uint64_t>, MemoryImage* image) -> Result<uint64_t> {
+        uint64_t acc = 0;
+        uint64_t last = 0;
+        for (int i = 0; i < 8; ++i) {
+          acc += 1;
+          (void)image->Write(image->arena_base() + i * 8, &acc, sizeof(acc));
+          (void)image->Read(image->arena_base() + i * 8, &last, sizeof(last));
+        }
+        return last;
+      },
+      kRoot);
+  (void)point.Replace(std::move(graft));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(point.Invoke({}));
+  }
+}
+BENCHMARK(BM_WrapperNativeSmall);
 
 // poll_interval sensitivity: a 4096-instruction compute loop at different
 // abort-poll cadences. Finer polling = faster aborts, more poll overhead.

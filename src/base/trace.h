@@ -50,8 +50,10 @@ enum class Event : uint16_t {
   kNone = 0,
 
   // Graft invocation wrapper (src/graft/invocation.h).
-  kInvokeBegin,    // tag = PathTag (kNull for ungrafted), a = graft trace id.
-  kInvokeEnd,      // tag = final PathTag, a = graft trace id, b = duration ns.
+  kInvokeBegin,    // tag = packed PathTag + exec tier (see PackInvokeTag;
+                   // kNull for ungrafted), a = graft trace id.
+  kInvokeEnd,      // tag = packed final PathTag + exec tier,
+                   // a = graft trace id, b = duration ns.
 
   // Transactions (src/txn/txn_manager.cc).
   kTxnBegin,       // a = txn id, a32 = depth.
@@ -97,6 +99,25 @@ enum class PathTag : uint16_t {
 };
 
 [[nodiscard]] std::string_view PathTagName(PathTag tag);
+
+// kInvokeBegin/End tag layout: PathTag in the low byte, execution tier in
+// the high byte, biased by one so that 0 still means "no tier information"
+// — native grafts, null-path invocations, and every pre-tier spool file
+// decode identically to before the tiers existed. Program grafts carry
+// ExecTier + 1 (1 = switch interpreter, 2 = direct-threaded).
+[[nodiscard]] constexpr uint16_t PackInvokeTag(PathTag path,
+                                               uint16_t tier_plus1) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(path) |
+                               (tier_plus1 << 8));
+}
+[[nodiscard]] constexpr PathTag InvokePathTag(uint16_t tag) {
+  return static_cast<PathTag>(tag & 0xFF);
+}
+// 0 = no tier information (native / null path / legacy spool); otherwise
+// ExecTier value + 1.
+[[nodiscard]] constexpr uint16_t InvokeTierPlus1(uint16_t tag) {
+  return static_cast<uint16_t>(tag >> 8);
+}
 
 // Fixed-size POD record: 32 bytes, four words, no pointers chased at
 // replay time. `time_ns` is the host steady clock so per-thread streams

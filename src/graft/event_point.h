@@ -161,9 +161,9 @@ class EventGraftPoint {
   const Config config_;
   TxnManager* txn_manager_;
 
-  // The point's pinned execution context (reusable Vm, prebuilt RunOptions):
-  // built once from Config, shared by every handler invocation on every
-  // delivery flavour (the Vm is stateless). See invocation.h.
+  // The point's pinned execution context (both engine tiers, prebuilt
+  // RunOptions): built once from Config, shared by every handler invocation
+  // on every delivery flavour (the engines are stateless). See invocation.h.
   GraftExecContext exec_;
 
   mutable std::mutex mutex_;

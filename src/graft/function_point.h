@@ -133,9 +133,10 @@ class FunctionGraftPoint {
   Config config_;
   TxnManager* txn_manager_;
 
-  // The point's pinned execution context (reusable Vm, prebuilt RunOptions):
-  // built once from Config, borrowed by every invocation, shared safely by
-  // concurrent invokers (the Vm is stateless). See invocation.h.
+  // The point's pinned execution context (both engine tiers, prebuilt
+  // RunOptions): built once from Config, borrowed by every invocation,
+  // shared safely by concurrent invokers (the engines are stateless). See
+  // invocation.h.
   GraftExecContext exec_;
 
   std::atomic<std::shared_ptr<Graft>> graft_;

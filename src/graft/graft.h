@@ -19,6 +19,7 @@
 #include "src/base/histogram.h"
 #include "src/base/status.h"
 #include "src/resource/account.h"
+#include "src/sfi/exec_engine.h"
 #include "src/sfi/memory_image.h"
 #include "src/sfi/program.h"
 
@@ -79,6 +80,19 @@ class Graft {
     return aborts_.load(std::memory_order_relaxed);
   }
 
+  // Which execution tier actually ran each program invocation (from
+  // RunOutcome::tier, so a Tier-1-eligible graft that fell back to the
+  // interpreter is counted where it really ran). Native grafts never
+  // count here — they have no tier.
+  void CountTierRun(ExecTier tier) {
+    tier_runs_[static_cast<size_t>(tier)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t tier_runs(ExecTier tier) const {
+    return tier_runs_[static_cast<size_t>(tier)].load(
+        std::memory_order_relaxed);
+  }
+
   // --- Flight-recorder attribution ------------------------------------
   // Process-unique id carried in trace records, so a merged timeline can
   // name the graft without chasing pointers into freed objects.
@@ -105,6 +119,7 @@ class Graft {
 
   std::atomic<uint64_t> invocations_{0};
   std::atomic<uint64_t> aborts_{0};
+  std::atomic<uint64_t> tier_runs_[kExecTierCount] = {};
   AbortCostModel abort_cost_;
 };
 

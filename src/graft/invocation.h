@@ -14,11 +14,14 @@
 // stays with the caller, which knows what kind of point it is.
 //
 // Hot-path discipline: nothing is constructed per invocation. Each graft
-// point pins one GraftExecContext — a reusable Vm and a prebuilt RunOptions
-// whose abort predicate is a capture-free function pointer — and every
-// invocation borrows it. The Vm is stateless (Run is const; all execution
-// state lives on Run's stack), so concurrent invocations of the same point
-// share the pinned context safely. The thread's KernelContext is resolved
+// point pins one GraftExecContext — both execution-engine tiers and a
+// prebuilt RunOptions whose abort predicate is a capture-free function
+// pointer — and every invocation borrows it. The engines are stateless
+// (Run is const; all execution state lives on Run's stack), so concurrent
+// invocations of the same point share the pinned context safely. Which
+// tier a program runs on was decided once at load time (the Tier-1
+// artifact either travels with the Program or doesn't); the wrapper just
+// reads that decision. The thread's KernelContext is resolved
 // once and threaded through the transaction scope, the account swap, and
 // the abort polls. Steady state performs zero heap allocations (recycled
 // transaction, lean undo log); tests/alloc_test.cc asserts it with tracing
@@ -39,7 +42,9 @@
 #include "src/base/status.h"
 #include "src/base/trace.h"
 #include "src/graft/graft.h"
+#include "src/sfi/exec_engine.h"
 #include "src/sfi/host.h"
+#include "src/sfi/threaded_vm.h"
 #include "src/sfi/vm.h"
 #include "src/txn/txn_manager.h"
 #include "src/txn/watchdog.h"
@@ -53,10 +58,10 @@ namespace vino {
 struct GraftExecContext {
   GraftExecContext(const HostCallTable* host, uint64_t fuel = 10'000'000,
                    uint32_t poll_interval = 64)
-      : vm(host) {
+      : vm(host), threaded_vm(host) {
     options.fuel = fuel;
     options.poll_interval = poll_interval;
-    // Capture-free: the Vm polls the calling thread's own innermost
+    // Capture-free: the engine polls the calling thread's own innermost
     // transaction, which needs no per-invocation state.
     options.abort_requested = [](void*) { return TxnManager::AbortPending(); };
   }
@@ -65,8 +70,18 @@ struct GraftExecContext {
   // concurrent invocations of this point).
   RunOptions options;
 
-  // The pinned interpreter. Stateless — safe to enter concurrently.
+  // The pinned execution engines, one per tier. Stateless — safe to enter
+  // concurrently. Tier selection already happened in the loader; EngineFor
+  // just follows the artifact.
   Vm vm;
+  ThreadedVm threaded_vm;
+
+  [[nodiscard]] const ExecutionEngine& EngineFor(const Program& program) const {
+    if (program.compiled != nullptr) {
+      return threaded_vm;
+    }
+    return vm;
+  }
 
   // Optional wall-clock budget, enforced by a Watchdog (§4.5). Both fuel
   // and wall budget may be set; whichever trips first aborts.
@@ -115,6 +130,18 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
                                             const GraftExecContext& exec) {
   graft->CountInvocation();
 
+  // Execution tier for trace attribution, biased by one so 0 keeps meaning
+  // "no tier" (native grafts, legacy spools). The load-time decision is the
+  // artifact itself, so this is a pointer test, not policy.
+  const uint16_t tier_plus1 =
+      graft->is_native()
+          ? 0
+          : static_cast<uint16_t>(
+                (graft->program().compiled != nullptr
+                     ? static_cast<uint16_t>(ExecTier::kTier1)
+                     : static_cast<uint16_t>(ExecTier::kTier0)) +
+                1);
+
   // Flight recorder (src/base/trace.h): one relaxed load when disabled;
   // begin/end records bracketing the safe path when enabled. `traced` is
   // sampled once so begin and end records always pair up.
@@ -123,9 +150,10 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
   if (traced) {
     invoke_start_ns = trace::NowNs();
     trace::Post(trace::Event::kInvokeBegin,
-                static_cast<uint16_t>(graft->is_native()
-                                          ? trace::PathTag::kUnsafe
-                                          : trace::PathTag::kSafe),
+                trace::PackInvokeTag(graft->is_native()
+                                         ? trace::PathTag::kUnsafe
+                                         : trace::PathTag::kSafe,
+                                     tier_plus1),
                 0, graft->trace_id(), 0);
   }
 
@@ -162,9 +190,14 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
       failure = scope.txn()->abort_reason();
     }
   } else {
-    const RunOutcome run = exec.vm.Run(
+    // The engine the loader picked: the Tier-1 artifact travels with the
+    // program, so this is one branch, and the chosen engine is a pinned
+    // member of the context — nothing is built here.
+    const ExecutionEngine& engine = exec.EngineFor(graft->program());
+    const RunOutcome run = engine.Run(
         graft->program(), &graft->image(), args, exec.options,
         CallerIdentity{graft->owner().uid, graft->owner().privileged});
+    graft->CountTierRun(run.tier);
     if (IsOk(run.status)) {
       outcome.value = run.ret;
     } else {
@@ -205,7 +238,7 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
         exec.latency->Record(now_ns - invoke_start_ns);
       }
       trace::Post(trace::Event::kInvokeEnd,
-                  static_cast<uint16_t>(trace::PathTag::kAbort),
+                  trace::PackInvokeTag(trace::PathTag::kAbort, tier_plus1),
                   static_cast<uint32_t>(held_locks), graft->trace_id(),
                   now_ns - invoke_start_ns);
     }
@@ -248,11 +281,12 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
       exec.latency->Record(now_ns - invoke_start_ns);
     }
     trace::Post(trace::Event::kInvokeEnd,
-                static_cast<uint16_t>(!IsOk(commit_status)
-                                          ? trace::PathTag::kAbort
-                                          : (graft->is_native()
-                                                 ? trace::PathTag::kUnsafe
-                                                 : trace::PathTag::kSafe)),
+                trace::PackInvokeTag(!IsOk(commit_status)
+                                         ? trace::PathTag::kAbort
+                                         : (graft->is_native()
+                                                ? trace::PathTag::kUnsafe
+                                                : trace::PathTag::kSafe),
+                                     tier_plus1),
                 !IsOk(commit_status) ? static_cast<uint32_t>(pre_locks) : 0,
                 graft->trace_id(), now_ns - invoke_start_ns);
   }

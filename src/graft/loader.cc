@@ -2,6 +2,7 @@
 
 #include "src/base/log.h"
 #include "src/base/trace.h"
+#include "src/sfi/threaded_vm.h"
 #include "src/sfi/verifier.h"
 
 namespace vino {
@@ -69,6 +70,17 @@ Result<std::shared_ptr<Graft>> GraftLoader::Load(const SignedGraft& signed_graft
 
   Program verified_program = program;
   verified_program.verified = true;
+
+  // 7. Tier selection — once, here, never re-decided at run time. A
+  //    verified program is Tier-1 eligible: pre-decode it for the
+  //    direct-threaded engine unless policy (VINO_EXEC_TIER=0) pins the
+  //    process to the interpreter. A refused/unavailable compile leaves
+  //    the artifact null and the graft on Tier 0 — by design never a load
+  //    failure (the fallback ladder degrades performance, not service).
+  if (MaxExecTier() >= ExecTier::kTier1) {
+    verified_program.compiled = CompileThreaded(verified_program);
+  }
+
   auto graft =
       std::make_shared<Graft>(program.name, std::move(verified_program),
                               spec.identity, options_.image_kernel_size);

@@ -4,6 +4,7 @@
 #define VINOLITE_SRC_SFI_PROGRAM_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "src/sfi/isa.h"
 
 namespace vino {
+
+struct CompiledProgram;  // src/sfi/threaded_vm.h
 
 // A graft program. Produced by an assembler, transformed by the MiSFIT
 // instrumenter, executed by the Vm.
@@ -35,6 +38,12 @@ struct Program {
   // never sets it, and the loader only sets it on its own verifier's
   // verdict. The Vm skips the per-access InBounds branch when it is set.
   bool verified = false;
+
+  // The Tier-1 direct-threaded artifact (src/sfi/threaded_vm.h), built by
+  // the loader after — and only after — the verifier's proof succeeds.
+  // Like `verified`, never part of the serialized container; null means
+  // "run Tier 0". Immutable once built; copies of the Program share it.
+  std::shared_ptr<const CompiledProgram> compiled;
 
   // Host-function ids named by direct kCall instructions, collected during
   // assembly. The dynamic linker checks each against the graft-callable

@@ -1,0 +1,411 @@
+#include "src/sfi/threaded_vm.h"
+
+#include <cstring>
+
+#include "src/sfi/vm.h"
+
+// Direct threading needs GCC/Clang's labels-as-values extension. Elsewhere
+// CompileThreaded returns nullptr and every program runs the Tier-0
+// interpreter — a performance fallback, never a functional one.
+#if defined(__GNUC__) || defined(__clang__)
+#define VINO_HAVE_COMPUTED_GOTO 1
+#else
+#define VINO_HAVE_COMPUTED_GOTO 0
+#endif
+
+namespace vino {
+namespace {
+
+// Same exit-path register dump as the Tier-0 loop (see src/sfi/vm.cc);
+// armed only by the differential tier test.
+struct FinalRegDump {
+  uint64_t* dst;
+  const uint64_t* src;
+  ~FinalRegDump() {
+    if (dst != nullptr) {
+      std::memcpy(dst, src, sizeof(uint64_t) * kNumRegisters);
+    }
+  }
+};
+
+#if VINO_HAVE_COMPUTED_GOTO
+
+// The direct-threaded dispatch loop. Doubles as the handler-table oracle:
+// called with `labels_out` non-null it only publishes the label array (the
+// classic computed-goto bootstrap — label addresses exist only inside the
+// function that declares them) and never touches the execution arguments.
+//
+// Per-dispatch work, kept deliberately minimal — this ordering replicates
+// the Tier-0 loop observable-for-observable:
+//   1. fuel test (kSfiFuelExhausted), charge one unit;
+//   2. poll countdown; at zero, reset and test the abort predicate
+//      (kTxnAborted) — note the charged-but-unexecuted instruction is
+//      counted, exactly as Tier 0 counts it;
+//   3. fetch the pre-decoded op, advance, jump to its handler.
+// There is no pc bounds test: the verifier's structural proof (branch
+// targets in range, terminal kHalt/kJmp) makes falling off the end
+// impossible. `instructions` is reconstructed from fuel spent at exit
+// instead of being counted per iteration.
+RunOutcome ThreadedExec(const CompiledProgram* cp, MemoryImage* image,
+                        std::span<const uint64_t> args,
+                        const RunOptions& options, uint32_t poll_interval,
+                        const HostCallTable* host, CallerIdentity identity,
+                        const void* const** labels_out) {
+  // Handler table, indexed by Op. Order must mirror the Op enum exactly;
+  // the static_assert pins the count and CompileThreaded indexes by
+  // static_cast<size_t>(op).
+  static const void* const kLabels[] = {
+      &&h_nop,   &&h_halt,  &&h_loadimm, &&h_mov,   &&h_add,  &&h_sub,
+      &&h_mul,   &&h_divu,  &&h_remu,    &&h_and,   &&h_or,   &&h_xor,
+      &&h_shl,   &&h_shr,   &&h_sar,     &&h_addi,  &&h_muli, &&h_andi,
+      &&h_ori,   &&h_xori,  &&h_shli,    &&h_shri,  &&h_ld8,  &&h_ld16,
+      &&h_ld32,  &&h_ld64,  &&h_st8,     &&h_st16,  &&h_st32, &&h_st64,
+      &&h_jmp,   &&h_beq,   &&h_bne,     &&h_bltu,  &&h_bgeu, &&h_blts,
+      &&h_bges,  &&h_call,  &&h_callr,   &&h_sandboxaddr, &&h_checkedcallr,
+  };
+  static_assert(sizeof(kLabels) / sizeof(kLabels[0]) ==
+                    static_cast<size_t>(Op::kOpCount),
+                "handler table must cover every opcode, in enum order");
+  if (labels_out != nullptr) {
+    *labels_out = kLabels;
+    return RunOutcome{};
+  }
+
+  uint64_t regs[kNumRegisters] = {};
+  const size_t argc = args.size() < kMaxArgs ? args.size() : kMaxArgs;
+  for (size_t i = 0; i < argc; ++i) {
+    regs[i] = args[i];
+  }
+  // Compiled programs are instrumented by construction (CompileThreaded
+  // refuses anything else), so the sandbox registers are always live.
+  regs[kSandboxMaskReg] = image->arena_mask();
+  regs[kSandboxBaseReg] = image->arena_base();
+  FinalRegDump reg_dump{options.final_regs, regs};
+
+  RunOutcome outcome;
+  outcome.tier = ExecTier::kTier1;
+  uint8_t* const mem = image->data();
+  const ThreadedOp* const ops = cp->ops.data();
+  const ThreadedOp* ip = ops;
+  const ThreadedOp* op = nullptr;
+  uint64_t fuel = options.fuel;
+  uint32_t until_poll = poll_interval;
+
+#define VINO_DISPATCH()                                  \
+  do {                                                   \
+    if (fuel == 0) goto exit_fuel;                       \
+    --fuel;                                              \
+    if (--until_poll == 0) {                             \
+      until_poll = poll_interval;                        \
+      if (options.abort_requested != nullptr &&          \
+          options.abort_requested(options.abort_ctx)) {  \
+        goto exit_abort;                                 \
+      }                                                  \
+    }                                                    \
+    op = ip;                                             \
+    ++ip;                                                \
+    goto *op->handler;                                   \
+  } while (0)
+
+#define VINO_HOST_CALL(id_expr, checked)                          \
+  do {                                                            \
+    const uint32_t id = (id_expr);                                \
+    const HostCallTable::Entry* entry = host->Lookup(id);         \
+    if ((checked) && (entry == nullptr || !entry->graft_callable)) { \
+      /* Paper §3.3 Rule 7: target not on the callable list →     \
+         abort the graft's transaction. */                        \
+      outcome.status = Status::kSfiBadCall;                       \
+      goto exit_done;                                             \
+    }                                                             \
+    if (entry == nullptr) {                                       \
+      outcome.status = Status::kSfiTrap; /* Wild call. */         \
+      goto exit_done;                                             \
+    }                                                             \
+    HostCallContext hctx;                                         \
+    for (int i = 0; i < kMaxArgs; ++i) {                          \
+      hctx.args[static_cast<size_t>(i)] = regs[i];                \
+    }                                                             \
+    hctx.image = image;                                           \
+    hctx.identity = identity;                                     \
+    Result<uint64_t> r = entry->fn(hctx);                         \
+    if (!r.ok()) {                                                \
+      outcome.status = r.status();                                \
+      goto exit_done;                                             \
+    }                                                             \
+    regs[0] = r.value();                                          \
+  } while (0)
+
+  VINO_DISPATCH();
+
+h_nop:
+  VINO_DISPATCH();
+h_halt:
+  outcome.ret = regs[0];
+  outcome.status = Status::kOk;
+  goto exit_done;
+
+h_loadimm:
+  regs[op->rd] = static_cast<uint64_t>(op->imm);
+  VINO_DISPATCH();
+h_mov:
+  regs[op->rd] = regs[op->rs1];
+  VINO_DISPATCH();
+
+h_add:
+  regs[op->rd] = regs[op->rs1] + regs[op->rs2];
+  VINO_DISPATCH();
+h_sub:
+  regs[op->rd] = regs[op->rs1] - regs[op->rs2];
+  VINO_DISPATCH();
+h_mul:
+  regs[op->rd] = regs[op->rs1] * regs[op->rs2];
+  VINO_DISPATCH();
+h_divu:
+  regs[op->rd] = regs[op->rs2] == 0 ? 0 : regs[op->rs1] / regs[op->rs2];
+  VINO_DISPATCH();
+h_remu:
+  regs[op->rd] = regs[op->rs2] == 0 ? 0 : regs[op->rs1] % regs[op->rs2];
+  VINO_DISPATCH();
+h_and:
+  regs[op->rd] = regs[op->rs1] & regs[op->rs2];
+  VINO_DISPATCH();
+h_or:
+  regs[op->rd] = regs[op->rs1] | regs[op->rs2];
+  VINO_DISPATCH();
+h_xor:
+  regs[op->rd] = regs[op->rs1] ^ regs[op->rs2];
+  VINO_DISPATCH();
+h_shl:
+  regs[op->rd] = regs[op->rs1] << (regs[op->rs2] & 63);
+  VINO_DISPATCH();
+h_shr:
+  regs[op->rd] = regs[op->rs1] >> (regs[op->rs2] & 63);
+  VINO_DISPATCH();
+h_sar:
+  regs[op->rd] = static_cast<uint64_t>(static_cast<int64_t>(regs[op->rs1]) >>
+                                       (regs[op->rs2] & 63));
+  VINO_DISPATCH();
+
+h_addi:
+  regs[op->rd] = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  VINO_DISPATCH();
+h_muli:
+  regs[op->rd] = regs[op->rs1] * static_cast<uint64_t>(op->imm);
+  VINO_DISPATCH();
+h_andi:
+  regs[op->rd] = regs[op->rs1] & static_cast<uint64_t>(op->imm);
+  VINO_DISPATCH();
+h_ori:
+  regs[op->rd] = regs[op->rs1] | static_cast<uint64_t>(op->imm);
+  VINO_DISPATCH();
+h_xori:
+  regs[op->rd] = regs[op->rs1] ^ static_cast<uint64_t>(op->imm);
+  VINO_DISPATCH();
+h_shli:
+  regs[op->rd] = regs[op->rs1] << (static_cast<uint64_t>(op->imm) & 63);
+  VINO_DISPATCH();
+h_shri:
+  regs[op->rd] = regs[op->rs1] >> (static_cast<uint64_t>(op->imm) & 63);
+  VINO_DISPATCH();
+
+  // Memory. No InBounds test: every reachable access carries the
+  // verifier's in-sandbox proof — for Tier 1 that proof *is* the bounds
+  // check. Width is baked into the handler, so no per-access width
+  // computation either. Exact-width temporaries give loads the same
+  // zero-extension as Tier 0's memcpy-into-zeroed-uint64.
+h_ld8: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  regs[op->rd] = mem[addr];
+  VINO_DISPATCH();
+}
+h_ld16: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  uint16_t v;
+  std::memcpy(&v, mem + addr, sizeof(v));
+  regs[op->rd] = v;
+  VINO_DISPATCH();
+}
+h_ld32: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  uint32_t v;
+  std::memcpy(&v, mem + addr, sizeof(v));
+  regs[op->rd] = v;
+  VINO_DISPATCH();
+}
+h_ld64: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  uint64_t v;
+  std::memcpy(&v, mem + addr, sizeof(v));
+  regs[op->rd] = v;
+  VINO_DISPATCH();
+}
+h_st8: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  mem[addr] = static_cast<uint8_t>(regs[op->rs2]);
+  VINO_DISPATCH();
+}
+h_st16: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  const uint16_t v = static_cast<uint16_t>(regs[op->rs2]);
+  std::memcpy(mem + addr, &v, sizeof(v));
+  VINO_DISPATCH();
+}
+h_st32: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  const uint32_t v = static_cast<uint32_t>(regs[op->rs2]);
+  std::memcpy(mem + addr, &v, sizeof(v));
+  VINO_DISPATCH();
+}
+h_st64: {
+  const uint64_t addr = regs[op->rs1] + static_cast<uint64_t>(op->imm);
+  std::memcpy(mem + addr, &regs[op->rs2], sizeof(uint64_t));
+  VINO_DISPATCH();
+}
+
+h_jmp:
+  ip = ops + op->imm;
+  VINO_DISPATCH();
+h_beq:
+  if (regs[op->rs1] == regs[op->rs2]) {
+    ip = ops + op->imm;
+  }
+  VINO_DISPATCH();
+h_bne:
+  if (regs[op->rs1] != regs[op->rs2]) {
+    ip = ops + op->imm;
+  }
+  VINO_DISPATCH();
+h_bltu:
+  if (regs[op->rs1] < regs[op->rs2]) {
+    ip = ops + op->imm;
+  }
+  VINO_DISPATCH();
+h_bgeu:
+  if (regs[op->rs1] >= regs[op->rs2]) {
+    ip = ops + op->imm;
+  }
+  VINO_DISPATCH();
+h_blts:
+  if (static_cast<int64_t>(regs[op->rs1]) < static_cast<int64_t>(regs[op->rs2])) {
+    ip = ops + op->imm;
+  }
+  VINO_DISPATCH();
+h_bges:
+  if (static_cast<int64_t>(regs[op->rs1]) >=
+      static_cast<int64_t>(regs[op->rs2])) {
+    ip = ops + op->imm;
+  }
+  VINO_DISPATCH();
+
+h_call:
+  VINO_HOST_CALL(static_cast<uint32_t>(op->imm), false);
+  VINO_DISPATCH();
+h_callr:
+  // A verified program has no *reachable* raw kCallR (the verifier rejects
+  // them), but unreachable ones may survive in the stream; keep Tier-0
+  // semantics in case a future caller compiles by other rules.
+  VINO_HOST_CALL(static_cast<uint32_t>(regs[op->rs1]), false);
+  VINO_DISPATCH();
+h_checkedcallr:
+  VINO_HOST_CALL(static_cast<uint32_t>(regs[op->rs1]), true);
+  VINO_DISPATCH();
+
+h_sandboxaddr:
+  // The MiSFIT sandbox: force the address into the graft arena.
+  regs[op->rd] = ((regs[op->rs1] + static_cast<uint64_t>(op->imm)) &
+                  regs[kSandboxMaskReg]) |
+                 regs[kSandboxBaseReg];
+  VINO_DISPATCH();
+
+exit_fuel:
+  outcome.status = Status::kSfiFuelExhausted;
+  goto exit_done;
+exit_abort:
+  outcome.status = Status::kTxnAborted;
+  goto exit_done;
+exit_done:
+  // One unit of fuel == one dispatched instruction, so the count Tier 0
+  // maintains per iteration falls out of the arithmetic (the charged-but-
+  // not-executed instruction at an abort poll is included, as in Tier 0).
+  outcome.instructions = options.fuel - fuel;
+  return outcome;
+
+#undef VINO_HOST_CALL
+#undef VINO_DISPATCH
+}
+
+#endif  // VINO_HAVE_COMPUTED_GOTO
+
+}  // namespace
+
+std::shared_ptr<const CompiledProgram> CompileThreaded(const Program& program) {
+#if !VINO_HAVE_COMPUTED_GOTO
+  (void)program;
+  return nullptr;
+#else
+  // Tier-1 eligibility: the dropped checks are exactly the ones the
+  // load-time proof covers, so no proof → no Tier-1 form.
+  if (!program.instrumented || !program.verified || program.code.empty()) {
+    return nullptr;
+  }
+  const void* const* labels = nullptr;
+  (void)ThreadedExec(nullptr, nullptr, {}, RunOptions{}, 0, nullptr, {},
+                     &labels);
+
+  const size_t size = program.code.size();
+  auto compiled = std::make_shared<CompiledProgram>();
+  compiled->ops.reserve(size);
+  for (const Instruction& ins : program.code) {
+    // VerifyProgram already guarantees all of this for verified programs;
+    // re-checking here keeps "compiled implies can't leave the op array"
+    // a local property of this function rather than a cross-module trust
+    // chain. Any violation downgrades to Tier 0, never UB.
+    const size_t opcode = static_cast<size_t>(ins.op);
+    if (opcode >= static_cast<size_t>(Op::kOpCount) ||
+        ins.rd >= kNumRegisters || ins.rs1 >= kNumRegisters ||
+        ins.rs2 >= kNumRegisters) {
+      return nullptr;
+    }
+    if ((IsBranch(ins.op)) &&
+        (ins.imm < 0 || static_cast<size_t>(ins.imm) >= size)) {
+      return nullptr;
+    }
+    ThreadedOp top;
+    top.handler = labels[opcode];
+    top.rd = ins.rd;
+    top.rs1 = ins.rs1;
+    top.rs2 = ins.rs2;
+    top.imm = ins.imm;
+    compiled->ops.push_back(top);
+  }
+  const Op last = program.code.back().op;
+  if (last != Op::kHalt && last != Op::kJmp) {
+    return nullptr;  // No terminal instruction → pc could fall off the end.
+  }
+  return compiled;
+#endif
+}
+
+RunOutcome ThreadedVm::Run(const Program& program, MemoryImage* image,
+                           std::span<const uint64_t> args,
+                           const RunOptions& options,
+                           CallerIdentity identity) const {
+  const CompiledProgram* compiled = program.compiled.get();
+  // Fallback ladder: no artifact (policy, compile refusal, or a toolchain
+  // without computed goto) → Tier 0. Never an error.
+  if (compiled == nullptr || compiled->ops.size() != program.code.size()) {
+    return Vm(host_).Run(program, image, args, options, identity);
+  }
+#if VINO_HAVE_COMPUTED_GOTO
+  // Same poll_interval == 0 clamp as Vm::Run: "poll as often as possible",
+  // not "never" (the countdown would otherwise wrap to ~4B instructions).
+  const uint32_t poll_interval =
+      options.poll_interval == 0 ? 1 : options.poll_interval;
+  return ThreadedExec(compiled, image, args, options, poll_interval, host_,
+                      identity, nullptr);
+#else
+  return Vm(host_).Run(program, image, args, options, identity);
+#endif
+}
+
+}  // namespace vino

@@ -1,0 +1,95 @@
+// Tier 1 of the graft execution engine: direct-threaded dispatch.
+//
+// The Tier-0 interpreter pays, per instruction: a pc bounds test, a fuel
+// test, an instruction-counter increment, a poll-countdown decrement, an
+// operand fetch through the 16-byte encoded Instruction, and a switch whose
+// range check and jump-table load the branch predictor shares across all 41
+// opcodes. For a program the load-time verifier has proven safe, most of
+// that is deletable:
+//
+//  * pc can never leave the program (VerifyProgram: every branch target is
+//    in range and the last instruction is kHalt/kJmp), so the bounds test
+//    goes;
+//  * the instruction counter is derivable from fuel spent, so the separate
+//    increment goes;
+//  * pre-decoding at load time resolves each opcode to the *address* of its
+//    handler (GCC/Clang computed goto), so dispatch is one indirect jump
+//    whose target the BTB predicts per-site instead of through one shared
+//    switch.
+//
+// What stays, byte-for-byte: MiSFIT masking semantics (kSandboxAddr, the
+// reserved mask/base registers loaded from the image), the Rule-7
+// kCheckedCallR runtime probe-and-abort contract, fuel accounting, and the
+// abort-poll cadence including the poll_interval==0 clamp. The differential
+// fuzz test in tests/property_test.cc holds the two tiers to identical
+// registers, memory, host-call sequences, and abort reasons.
+//
+// Compilation happens once, in GraftLoader::Load, and only for programs
+// whose sandbox proof succeeded — the dropped checks are exactly the ones
+// the proof covers, so an unverified program has no Tier-1 form. A failed
+// or unavailable compile (non-GNU compiler) is never a load failure: the
+// artifact is simply absent and the graft runs Tier 0.
+
+#ifndef VINOLITE_SRC_SFI_THREADED_VM_H_
+#define VINOLITE_SRC_SFI_THREADED_VM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/sfi/exec_engine.h"
+#include "src/sfi/host.h"
+#include "src/sfi/memory_image.h"
+#include "src/sfi/program.h"
+
+namespace vino {
+
+// One pre-decoded instruction: the opcode resolved to its handler address,
+// operands widened out of the packed encoding. For control flow, imm is an
+// absolute index into the op array; for kCall it is the host-function id.
+struct ThreadedOp {
+  const void* handler = nullptr;
+  uint8_t rd = 0;
+  uint8_t rs1 = 0;
+  uint8_t rs2 = 0;
+  int64_t imm = 0;
+};
+
+// The Tier-1 artifact: a dense handler-resolved op array. Built once at
+// load time, owned by the Program (shared_ptr — Program is copied into the
+// Graft), immutable thereafter; concurrent invocations share it freely.
+struct CompiledProgram {
+  std::vector<ThreadedOp> ops;
+};
+
+// Pre-decodes `program` for direct-threaded dispatch. Returns nullptr —
+// never an error — when the program is not Tier-1 eligible: it must be
+// instrumented, carry the load-time verifier's proof (Program::verified),
+// be non-empty, and the build must support computed goto. Callers treat
+// nullptr as "run Tier 0".
+[[nodiscard]] std::shared_ptr<const CompiledProgram> CompileThreaded(
+    const Program& program);
+
+// The Tier-1 engine. Stateless like the Vm: Run is const and all execution
+// state lives on its stack, so one instance per graft point serves any
+// number of concurrent invocations. A program without a compiled artifact
+// falls back to the Tier-0 interpreter (and the outcome reports kTier0).
+class ThreadedVm final : public ExecutionEngine {
+ public:
+  explicit ThreadedVm(const HostCallTable* host) : host_(host) {}
+
+  [[nodiscard]] ExecTier tier() const override { return ExecTier::kTier1; }
+
+  RunOutcome Run(const Program& program, MemoryImage* image,
+                 std::span<const uint64_t> args, const RunOptions& options,
+                 CallerIdentity identity = {}) const override;
+
+ private:
+  const HostCallTable* host_;
+};
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_SFI_THREADED_VM_H_

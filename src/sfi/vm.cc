@@ -5,6 +5,20 @@
 namespace vino {
 namespace {
 
+// Copies the register file out on every exit path (RAII so early returns
+// are covered). Only armed when RunOptions::final_regs is set — the
+// differential tier test in tests/property_test.cc — so the hot path pays
+// one predictable null test at exit.
+struct FinalRegDump {
+  uint64_t* dst;
+  const uint64_t* src;
+  ~FinalRegDump() {
+    if (dst != nullptr) {
+      std::memcpy(dst, src, sizeof(uint64_t) * kNumRegisters);
+    }
+  }
+};
+
 // The dispatch loop, stamped out twice: kCheckBounds=true is the classic
 // interpreter; kCheckBounds=false is the fast path for programs whose
 // load-time proof (src/sfi/verifier.h) already covers every access, with
@@ -27,6 +41,7 @@ RunOutcome RunLoop(const Program& program, MemoryImage* image,
     regs[kSandboxMaskReg] = image->arena_mask();
     regs[kSandboxBaseReg] = image->arena_base();
   }
+  FinalRegDump reg_dump{options.final_regs, regs};
 
   RunOutcome outcome;
   uint8_t* const mem = image->data();

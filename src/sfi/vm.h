@@ -1,4 +1,4 @@
-// The graft execution engine: an interpreter for vISA programs.
+// Tier 0 of the graft execution engine: an interpreter for vISA programs.
 //
 // Instrumented programs run with the sandbox mask/base registers initialized
 // from the memory image's graft arena; their memory accesses cannot leave the
@@ -11,54 +11,31 @@
 // instruction and polls an abort predicate at a fixed cadence, so an
 // infinitely looping graft is bounded and an asynchronous transaction abort
 // (e.g. a lock time-out fired by another thread) takes effect promptly.
+//
+// This is the universal backend: it runs anything — uninstrumented,
+// unverified, or verified — and is the floor the Tier-1 direct-threaded
+// backend (src/sfi/threaded_vm.h) falls back to. RunOptions/RunOutcome and
+// the engine interface live in src/sfi/exec_engine.h.
 
 #ifndef VINOLITE_SRC_SFI_VM_H_
 #define VINOLITE_SRC_SFI_VM_H_
 
 #include <cstdint>
 #include <span>
-#include <type_traits>
 
 #include "src/base/status.h"
+#include "src/sfi/exec_engine.h"
 #include "src/sfi/host.h"
 #include "src/sfi/memory_image.h"
 #include "src/sfi/program.h"
 
 namespace vino {
 
-// Execution options. Deliberately a trivially-copyable POD: the graft
-// invocation wrapper pre-builds one per graft point and reuses it for every
-// invocation, so nothing here may require per-use construction (which rules
-// out std::function — the abort predicate is a plain function pointer plus
-// an opaque context word).
-struct RunOptions {
-  // Instruction budget; exhausting it returns kSfiFuelExhausted.
-  uint64_t fuel = 100'000'000;
-
-  // How often (in instructions) the abort predicate is polled.
-  uint32_t poll_interval = 64;
-
-  // If set and abort_requested(abort_ctx) returns true at a poll, execution
-  // stops with kTxnAborted. Wired to the invoking transaction's abort flag
-  // by the graft wrapper (which needs no context and passes nullptr).
-  bool (*abort_requested)(void* ctx) = nullptr;
-  void* abort_ctx = nullptr;
-};
-static_assert(std::is_trivially_copyable_v<RunOptions>,
-              "RunOptions must stay POD so graft points can pin one per "
-              "point and share it across concurrent invocations");
-
-struct RunOutcome {
-  Status status = Status::kOk;
-  uint64_t ret = 0;           // r0 at halt.
-  uint64_t instructions = 0;  // Instructions executed.
-};
-
 // The interpreter itself is stateless: all execution state (registers, pc,
 // fuel) lives on Run's stack, and Run is const. A Vm can therefore be
 // pinned once per graft point and entered concurrently from any number of
 // threads — the per-invocation construction the wrapper used to pay is gone.
-class Vm {
+class Vm final : public ExecutionEngine {
  public:
   // Host-pinned form: the image (and caller identity) vary per run and are
   // passed to Run — how the graft wrapper drives a per-point Vm whose graft
@@ -69,13 +46,15 @@ class Vm {
   // against one image.
   Vm(MemoryImage* image, const HostCallTable* host) : image_(image), host_(host) {}
 
+  [[nodiscard]] ExecTier tier() const override { return ExecTier::kTier0; }
+
   // Executes `program` with `args` in r0..r5, confined to `image`.
   // `identity` is passed to every host call (the installing user, §3.3).
   // The program must pass VerifyProgram (callers that skip verification get
   // kSfiBadOpcode / kSfiTrap at runtime rather than UB).
   RunOutcome Run(const Program& program, MemoryImage* image,
                  std::span<const uint64_t> args, const RunOptions& options,
-                 CallerIdentity identity = {}) const;
+                 CallerIdentity identity = {}) const override;
 
   // Image-pinned form over the constructor-supplied image.
   RunOutcome Run(const Program& program, std::span<const uint64_t> args,

@@ -15,13 +15,20 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <span>
+#include <thread>
 
 #include "src/base/context.h"
 #include "src/base/trace.h"
 #include "src/graft/function_point.h"
 #include "src/graft/graft.h"
+#include "src/graft/invocation.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/threaded_vm.h"
+#include "src/sfi/verifier.h"
 #include "src/txn/transaction.h"
 #include "src/txn/txn_lock.h"
 #include "src/txn/txn_manager.h"
@@ -161,6 +168,119 @@ TEST(AbortDeliveryTest, CommitTimeAbortKeepsPerGraftAbortCostSample) {
   }
   EXPECT_TRUE(found);
   trace::SetEnabled(false);
+}
+
+// ---------------------------------------------------------------------
+// Tier-1 asynchronous abort delivery. The direct-threaded engine replaced
+// the interpreter's per-iteration poll with its own countdown; these pin
+// down that a cross-thread PostAbortRequest still lands mid-program on
+// Tier 1, and that the PR 6 poll_interval==0 clamp (0 means "poll every
+// instruction", not "poll after ~4B instructions") survived the rewrite.
+// ---------------------------------------------------------------------
+
+// A graft program that announces itself through a host call (publishing
+// its thread's os_id and innermost transaction id), then spins forever.
+// The only way out is an asynchronous abort — or fuel exhaustion, which
+// the tests treat as failure evidence.
+struct SpinningGraft {
+  HostCallTable host;
+  std::atomic<bool> started{false};
+  std::atomic<uint64_t> os_id{0};
+  std::atomic<uint64_t> txn_id{0};
+  std::shared_ptr<Graft> graft;
+
+  SpinningGraft() {
+    const uint32_t sync_id = host.Register(
+        "test.announce",
+        [this](HostCallContext&) -> Result<uint64_t> {
+          KernelContext& kctx = KernelContext::Current();
+          os_id.store(kctx.os_id, std::memory_order_relaxed);
+          txn_id.store(kctx.txn->id(), std::memory_order_relaxed);
+          started.store(true, std::memory_order_release);
+          return 0ull;
+        },
+        true);
+
+    Asm a("tier1-spinner");
+    auto top = a.NewLabel();
+    a.LoadImm(R1, sync_id);
+    a.CallR(R1);
+    a.LoadImm(R2, 1);
+    a.Bind(top);
+    a.Add(R3, R3, R2);
+    a.Jmp(top);
+    Result<Program> inst = Instrument(*a.Finish(), MisfitOptions{16});
+    EXPECT_TRUE(inst.ok());
+    Program p = *inst;
+    VerifierOptions voptions;
+    voptions.host = &host;
+    EXPECT_TRUE(VerifySandbox(p, voptions).ok());
+    p.verified = true;
+    p.compiled = CompileThreaded(p);
+    EXPECT_NE(p.compiled, nullptr);
+    graft = std::make_shared<Graft>("tier1-spinner", std::move(p), kRoot, 4096);
+  }
+};
+
+TEST(AbortDeliveryTest, CrossThreadPostLandsMidProgramOnTier1) {
+  TxnManager manager;
+  SpinningGraft spin;
+
+  // Default poll cadence; fuel bounded so a lost abort fails the test with
+  // kSfiFuelExhausted instead of hanging it.
+  GraftExecContext exec(&spin.host, /*fuel=*/50'000'000, /*poll_interval=*/64);
+
+  std::thread poster([&spin] {
+    while (!spin.started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(KernelContext::PostAbortRequest(
+        spin.os_id.load(std::memory_order_relaxed),
+        Reason(Status::kTxnTimedOut),
+        spin.txn_id.load(std::memory_order_relaxed)));
+  });
+
+  const InvocationOutcome outcome =
+      RunGraftInvocation(manager, spin.graft, {}, exec);
+  poster.join();
+
+  // The engine reports a poll-consumed abort as kTxnAborted (the posted
+  // reason was consumed into the transaction); what matters here is that it
+  // is an abort, not fuel exhaustion or a completed run.
+  EXPECT_EQ(outcome.status, Status::kTxnAborted);
+  EXPECT_EQ(spin.graft->aborts(), 1u);
+  // The abort was consumed by the Tier-1 engine, not an interpreter
+  // fallback: the invocation is attributed to tier 1.
+  EXPECT_EQ(spin.graft->tier_runs(ExecTier::kTier1), 1u);
+  EXPECT_EQ(spin.graft->tier_runs(ExecTier::kTier0), 0u);
+}
+
+TEST(AbortDeliveryTest, Tier1PollIntervalZeroClampsToEveryInstruction) {
+  // PR 6 regression, Tier-1 edition: poll_interval == 0 must clamp to 1.
+  // An unclamped countdown would wrap and never poll, so the spinner would
+  // burn its whole fuel budget and return kSfiFuelExhausted instead of the
+  // posted kTxnTimedOut.
+  TxnManager manager;
+  SpinningGraft spin;
+
+  GraftExecContext exec(&spin.host, /*fuel=*/20'000'000, /*poll_interval=*/0);
+
+  std::thread poster([&spin] {
+    while (!spin.started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    ASSERT_TRUE(KernelContext::PostAbortRequest(
+        spin.os_id.load(std::memory_order_relaxed),
+        Reason(Status::kTxnTimedOut),
+        spin.txn_id.load(std::memory_order_relaxed)));
+  });
+
+  const InvocationOutcome outcome =
+      RunGraftInvocation(manager, spin.graft, {}, exec);
+  poster.join();
+
+  EXPECT_EQ(outcome.status, Status::kTxnAborted);
+  EXPECT_EQ(spin.graft->tier_runs(ExecTier::kTier1), 1u);
 }
 
 }  // namespace

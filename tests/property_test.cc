@@ -21,7 +21,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -31,6 +33,7 @@
 #include "src/sfi/isa.h"
 #include "src/sfi/memory_image.h"
 #include "src/sfi/misfit.h"
+#include "src/sfi/threaded_vm.h"
 #include "src/sfi/verifier.h"
 #include "src/sfi/vm.h"
 #include "src/txn/accessor.h"
@@ -301,6 +304,149 @@ TEST_P(VerifierFuzzTest, InstrumenterOutputVerifiesAndFastPathAgrees) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzzTest,
                          ::testing::Values(2, 77, 2026, 0xfade, 40404));
+
+// ---------------------------------------------------------------------
+// P8: tier equivalence. The Tier-1 direct-threaded engine and the Tier-0
+// interpreter are the same abstract machine: for any program the real
+// pipeline emits, both tiers must produce identical registers, identical
+// memory images, the identical host-call sequence, and identical abort
+// reasons — including mid-program aborts (fuel exhaustion, Rule-7 bad
+// indirect calls).
+// ---------------------------------------------------------------------
+
+class TierFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TierFuzzTest, TiersAgreeOnRegistersMemoryHostCallsAndAborts) {
+  Rng rng(GetParam() ^ 0x71e2);
+
+  // One recording host table per tier, registered identically so ids match;
+  // the recorded (id, arg) sequences must come out equal. A second,
+  // non-graft-callable id makes some trials end in a Rule-7 abort.
+  struct RecordingHost {
+    HostCallTable table;
+    std::vector<std::pair<uint64_t, uint64_t>> calls;
+    uint32_t ok_id = 0;
+    uint32_t hostile_id = 0;
+    RecordingHost() {
+      ok_id = table.Register(
+          "fuzz.record",
+          [this](HostCallContext& ctx) -> Result<uint64_t> {
+            calls.emplace_back(0, ctx.args[0]);
+            return ctx.args[0] ^ 0x9e3779b97f4a7c15ull;
+          },
+          true);
+      hostile_id = table.Register(
+          "fuzz.hostile",
+          [](HostCallContext&) -> Result<uint64_t> { return 1ull; },
+          /*graft_callable=*/false);
+    }
+  };
+  RecordingHost host0;
+  RecordingHost host1;
+  ASSERT_EQ(host0.ok_id, host1.ok_id);
+  ASSERT_EQ(host0.hostile_id, host1.hostile_id);
+
+  size_t compiled_count = 0;
+  size_t abort_count = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    // RandomProgram's ALU/memory mix, plus indirect host calls: mostly the
+    // recorder, occasionally the non-callable id (a guaranteed abort).
+    Asm a("tier-fuzz");
+    const int length = static_cast<int>(rng.Range(5, 40));
+    for (int i = 0; i < length; ++i) {
+      const auto r = [&rng] { return Reg{static_cast<uint8_t>(rng.Below(12))}; };
+      switch (rng.Below(12)) {
+        case 0: a.LoadImm(r(), static_cast<int64_t>(rng.Next())); break;
+        case 1: a.Add(r(), r(), r()); break;
+        case 2: a.Mul(r(), r(), r()); break;
+        case 3: a.DivU(r(), r(), r()); break;
+        case 4: a.Xor(r(), r(), r()); break;
+        case 5: a.ShrI(r(), r(), static_cast<int64_t>(rng.Below(63))); break;
+        case 6: a.Ld64(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
+        case 7: a.St64(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
+        case 8: a.Ld8(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
+        case 9: a.St16(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
+        default: {
+          const uint32_t id =
+              rng.Chance(0.1) ? host0.hostile_id : host0.ok_id;
+          a.LoadImm(R11, id);
+          a.CallR(R11);
+          break;
+        }
+      }
+    }
+    a.Halt();
+    Result<Program> raw = a.Finish();
+    ASSERT_TRUE(raw.ok());
+    Result<Program> inst = Instrument(*raw, MisfitOptions{16});
+    ASSERT_TRUE(inst.ok());
+    ASSERT_TRUE(VerifySandbox(*inst).ok());
+
+    Program tier1 = *inst;
+    tier1.verified = true;
+    tier1.compiled = CompileThreaded(tier1);
+    ASSERT_NE(tier1.compiled, nullptr)
+        << "seed=" << GetParam() << " trial=" << trial;
+    ++compiled_count;
+    Program tier0 = tier1;
+    tier0.compiled = nullptr;
+
+    uint64_t args[kMaxArgs];
+    for (uint64_t& arg : args) {
+      arg = rng.Next();
+    }
+    // Small fuel budgets on some trials force mid-program fuel aborts, so
+    // abort *reasons* get differential coverage too.
+    RunOptions options;
+    if (rng.Chance(0.3)) {
+      options.fuel = rng.Range(1, 64);
+    }
+    uint64_t regs0[kNumRegisters];
+    uint64_t regs1[kNumRegisters];
+    MemoryImage image0(8192, 16);
+    MemoryImage image1(8192, 16);
+
+    host0.calls.clear();
+    options.final_regs = regs0;
+    const RunOutcome out0 =
+        Vm(&host0.table).Run(tier0, &image0, args, options);
+
+    host1.calls.clear();
+    options.final_regs = regs1;
+    const RunOutcome out1 =
+        ThreadedVm(&host1.table).Run(tier1, &image1, args, options);
+
+    ASSERT_EQ(out1.status, out0.status)
+        << "seed=" << GetParam() << " trial=" << trial;
+    ASSERT_EQ(out1.ret, out0.ret)
+        << "seed=" << GetParam() << " trial=" << trial;
+    ASSERT_EQ(out1.instructions, out0.instructions)
+        << "seed=" << GetParam() << " trial=" << trial;
+    EXPECT_EQ(out0.tier, ExecTier::kTier0);
+    EXPECT_EQ(out1.tier, ExecTier::kTier1);
+    for (int i = 0; i < kNumRegisters; ++i) {
+      ASSERT_EQ(regs1[i], regs0[i])
+          << "register r" << i << " diverged (seed=" << GetParam()
+          << " trial=" << trial << ")";
+    }
+    ASSERT_EQ(host1.calls, host0.calls)
+        << "host-call sequences diverged (seed=" << GetParam()
+        << " trial=" << trial << ")";
+    ASSERT_EQ(
+        std::memcmp(image0.data(), image1.data(), image0.total_size()), 0)
+        << "memory images diverged (seed=" << GetParam() << " trial=" << trial
+        << ")";
+    if (!IsOk(out0.status)) {
+      ++abort_count;
+    }
+  }
+  // Not vacuous: every trial compiled, and some trials aborted mid-program.
+  EXPECT_EQ(compiled_count, 60u);
+  EXPECT_GT(abort_count, 0u) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TierFuzzTest,
+                         ::testing::Values(6, 83, 7001, 0x7071, 52525));
 
 // ---------------------------------------------------------------------
 // P3: undo soundness under random nested transaction trees.

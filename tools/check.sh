@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate, mechanically catching what code review misses:
-#   1. normal build + full ctest suite,
+#   1. normal build + full ctest suite, run twice: once with the loader
+#      forced to the Tier-1 direct-threaded engine (VINO_EXEC_TIER=1, also
+#      the default) and once pinned to the Tier-0 interpreter
+#      (VINO_EXEC_TIER=0),
 #   2. offline verifier audit: vverify (the same VerifySandbox analysis the
 #      loader runs) must accept every example graft graftc emits, and the
 #      misbehavior zoo — whose forged-toolchain grafts the loader's verifier
@@ -13,7 +16,9 @@
 #      --json smoke test,
 #   5. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
 #      races (Drain vs DispatchAsync, pool lifecycle, txn locks, ring
-#      snapshot-during-write) fail CI instead of shipping,
+#      snapshot-during-write, concurrent Tier-1 dispatch over one shared
+#      compiled artifact) fail CI instead of shipping; the tier-differential
+#      tests then re-run forced to each execution tier,
 #   6. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
 #      whose global operator-new counter conflicts with ASan's allocator
 #      interposition), so heap misuse and undefined behaviour in the Vm /
@@ -39,10 +44,14 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/6] build + full test suite =="
+echo "== [1/6] build + full test suite (both execution tiers) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+# The loader's tier selection honours VINO_EXEC_TIER (unset defaults to the
+# Tier-1 direct-threaded engine). The whole suite must hold both with the
+# default and with the process pinned to the Tier-0 interpreter.
+VINO_EXEC_TIER=1 ctest --test-dir build --output-on-failure -j "$JOBS"
+VINO_EXEC_TIER=0 ctest --test-dir build --output-on-failure -j "$JOBS"
 
 echo "== [2/6] offline verifier audit: vverify over example grafts + zoo =="
 AUDIT_DIR="$PWD/build/graft-audit"
@@ -98,8 +107,15 @@ assert d["txn"]["aborts"] > 0, "abort-heavy run produced no aborts"
 assert d["abort_cost_global"]["valid"], "abort-cost fit did not converge"
 assert d["trace"]["records"] > 0, "flight recorder captured nothing"
 assert any(g["aborts"] > 0 for g in d["grafts"]), "no per-graft aborts"
+tiered = [g for g in d["grafts"] if g["runs"]["tier0"] + g["runs"]["tier1"] > 0]
+assert tiered, "no per-tier invocation counts (program graft missing?)"
+for g in d["grafts"]:
+    runs = g["runs"]
+    assert runs["native"] + runs["tier0"] + runs["tier1"] == g["invocations"], \
+        f"tier attribution does not sum to invocations for {g['name']}"
 aborts, records = d["txn"]["aborts"], d["trace"]["records"]
-print(f"graftstat --json smoke: ok ({aborts} aborts, {records} records)")
+print(f"graftstat --json smoke: ok ({aborts} aborts, {records} records, "
+      f"{len(tiered)} tiered graft(s))")
 '
 
 if [[ "$BENCH" == "1" ]]; then
@@ -110,6 +126,11 @@ if [[ "$BENCH" == "1" ]]; then
     tools/bench_compare.py --warn-only \
       "BENCH_PR2.json#$b.after" "build/$b.smoke.json"
   done
+  echo "== [bench] sfi tier micros vs BENCH_PR7.json (warn-only) =="
+  build/bench/bench_sfi --json="build/bench_sfi.smoke.json" \
+    --benchmark_min_time=0.05 >/dev/null
+  tools/bench_compare.py --warn-only --sigmas 2 \
+    "BENCH_PR7.json#bench_sfi.after" "build/bench_sfi.smoke.json"
 fi
 
 if [[ "$FAST" == "1" ]]; then
@@ -124,8 +145,17 @@ cmake --build build-tsan -j "$JOBS"
 # silences libstdc++ _Sp_atomic false positives (see that file).
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
   ctest --test-dir build-tsan \
-  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test|trace_spool_test' \
+  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test|trace_spool_test|abort_delivery_test|threaded_vm_test' \
   --output-on-failure -j "$JOBS"
+# The tier-differential fuzz and the threaded dispatcher's shared-artifact
+# races, with the loader forced to each tier in turn.
+for tier in 0 1; do
+  VINO_EXEC_TIER="$tier" \
+  TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
+    ctest --test-dir build-tsan \
+    -R 'property_test|threaded_vm_test|abort_delivery_test' \
+    --output-on-failure -j "$JOBS"
+done
 
 echo "== [6/6] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
 cmake -B build-asan -S . -DVINO_SANITIZE=address >/dev/null
@@ -135,5 +165,14 @@ cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
 UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
   ctest --test-dir build-asan -E 'alloc_test' --output-on-failure -j "$JOBS"
+# Differential tier coverage under ASan too, forced to each tier in turn.
+for tier in 0 1; do
+  VINO_EXEC_TIER="$tier" \
+  ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+    ctest --test-dir build-asan \
+    -R 'property_test|threaded_vm_test|abort_delivery_test' \
+    --output-on-failure -j "$JOBS"
+done
 
 echo "All checks passed."

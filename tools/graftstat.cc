@@ -36,6 +36,10 @@
 #include "src/base/trace_spool.h"
 #include "src/graft/graft.h"
 #include "src/graft/invocation.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/threaded_vm.h"
+#include "src/sfi/verifier.h"
 #include "src/txn/accessor.h"
 #include "src/txn/txn_lock.h"
 #include "src/txn/txn_manager.h"
@@ -127,6 +131,10 @@ struct ReplayReport {
   struct GraftAgg {
     uint64_t invocations = 0;
     uint64_t aborts = 0;
+    // Execution-tier attribution, unpacked from the kInvokeBegin tag's high
+    // byte (0 = native graft or a legacy spool that predates tier tagging).
+    uint64_t untiered_runs = 0;
+    uint64_t tier_runs[vino::kExecTierCount] = {};
     AbortCostModel model;
   };
 
@@ -147,12 +155,22 @@ struct ReplayReport {
     ++records;
     ++event_counts[std::string(vino::trace::EventName(event))];
     switch (event) {
-      case Event::kInvokeBegin:
-        ++grafts[r.a].invocations;
+      case Event::kInvokeBegin: {
+        GraftAgg& agg = grafts[r.a];
+        ++agg.invocations;
+        // High byte of the packed tag: tier + 1, 0 = untiered.
+        const uint16_t tier_plus1 = vino::trace::InvokeTierPlus1(r.tag);
+        if (tier_plus1 >= 1 && tier_plus1 <= vino::kExecTierCount) {
+          ++agg.tier_runs[tier_plus1 - 1];
+        } else {
+          ++agg.untiered_runs;
+        }
         break;
+      }
       case Event::kInvokeEnd:
         invoke_latency.Record(r.b);
-        if (static_cast<PathTag>(r.tag) == PathTag::kAbort) {
+        // Only the low byte is the path; the high byte carries the tier.
+        if (vino::trace::InvokePathTag(r.tag) == PathTag::kAbort) {
           ++grafts[r.a].aborts;
         }
         break;
@@ -209,8 +227,11 @@ void PrintReplayJson(const char* mode, const std::string& path,
   size_t i = 0;
   for (const auto& [trace_id, agg] : report.grafts) {
     std::printf("    {\"trace_id\": %" PRIu64 ", \"invocations\": %" PRIu64
-                ", \"aborts\": %" PRIu64 ", \"abort_cost\": ",
-                trace_id, agg.invocations, agg.aborts);
+                ", \"aborts\": %" PRIu64
+                ", \"runs\": {\"native\": %" PRIu64 ", \"tier0\": %" PRIu64
+                ", \"tier1\": %" PRIu64 "}, \"abort_cost\": ",
+                trace_id, agg.invocations, agg.aborts, agg.untiered_runs,
+                agg.tier_runs[0], agg.tier_runs[1]);
     PrintFitJson(agg.model.Fit());
     std::printf("}%s\n", ++i < report.grafts.size() ? "," : "");
   }
@@ -241,12 +262,15 @@ void PrintReplayText(const char* mode, const std::string& path,
   std::printf("\nabort-cost model (paper §4.5: cost = a + b·L + c·G):\n");
   PrintFitText("kernel-wide", report.global_model.Fit());
   std::printf("\nper-graft:\n");
-  std::printf("  %-18s %12s %8s\n", "graft", "invocations", "aborts");
+  std::printf("  %-18s %12s %8s %8s %8s %8s\n", "graft", "invocations",
+              "aborts", "native", "tier0", "tier1");
   for (const auto& [trace_id, agg] : report.grafts) {
     char label[32];
     std::snprintf(label, sizeof(label), "graft#%" PRIu64, trace_id);
-    std::printf("  %-18s %12" PRIu64 " %8" PRIu64 "\n", label,
-                agg.invocations, agg.aborts);
+    std::printf("  %-18s %12" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64
+                " %8" PRIu64 "\n",
+                label, agg.invocations, agg.aborts, agg.untiered_runs,
+                agg.tier_runs[0], agg.tier_runs[1]);
     PrintFitText("", agg.model.Fit());
   }
 }
@@ -401,9 +425,43 @@ int main(int argc, char** argv) {
       {"undo-spammer", 1, 24, true},
       {"mixed-misbehaver", 3, 10, true},
       {"well-behaved", 1, 4, false},
+      {"tiered-worker", 0, 0, false},  // The one program graft (see below).
   };
   std::vector<std::shared_ptr<Graft>> grafts;
   for (const Profile& p : profiles) {
+    if (std::strcmp(p.name, "tiered-worker") == 0) {
+      // A sandboxed program graft so the per-tier invocation counters have
+      // something to count: instrumented, verified, and — unless
+      // VINO_EXEC_TIER=0 pins the process to the interpreter — pre-decoded
+      // for the Tier-1 direct-threaded engine, exactly as the loader would.
+      vino::Asm a("tiered-worker");
+      auto top = a.NewLabel();
+      a.LoadImm(vino::R1, 12);
+      a.LoadImm(vino::R2, 0);
+      a.LoadImm(vino::R3, 0);
+      a.Bind(top);
+      a.AddI(vino::R2, vino::R2, 3);
+      a.St64(vino::R3, vino::R2, 256);
+      a.Ld64(vino::R4, vino::R3, 256);
+      a.AddI(vino::R1, vino::R1, -1);
+      a.Bne(vino::R1, vino::R3, top);
+      a.Mov(vino::R0, vino::R2);
+      a.Halt();
+      auto inst = vino::Instrument(*a.Finish(), vino::MisfitOptions{16});
+      vino::Program program = *inst;
+      if (!vino::VerifySandbox(program).ok()) {
+        std::fprintf(stderr, "graftstat: self-test program failed to verify\n");
+        return 1;
+      }
+      program.verified = true;
+      if (vino::MaxExecTier() >= vino::ExecTier::kTier1) {
+        program.compiled = vino::CompileThreaded(program);
+      }
+      grafts.push_back(std::make_shared<Graft>(p.name, std::move(program),
+                                               GraftIdentity{1000, false},
+                                               4096));
+      continue;
+    }
     grafts.push_back(std::make_shared<Graft>(
         p.name,
         [&locks](std::span<const uint64_t> args, MemoryImage* image) {
@@ -496,11 +554,14 @@ int main(int argc, char** argv) {
     std::printf(",\n  \"grafts\": [\n");
     for (size_t i = 0; i < grafts.size(); ++i) {
       const auto& g = grafts[i];
+      const uint64_t tier0 = g->tier_runs(vino::ExecTier::kTier0);
+      const uint64_t tier1 = g->tier_runs(vino::ExecTier::kTier1);
       std::printf("    {\"name\": \"%s\", \"trace_id\": %" PRIu64
                   ", \"invocations\": %" PRIu64 ", \"aborts\": %" PRIu64
-                  ", \"abort_cost\": ",
+                  ", \"runs\": {\"native\": %" PRIu64 ", \"tier0\": %" PRIu64
+                  ", \"tier1\": %" PRIu64 "}, \"abort_cost\": ",
                   g->name().c_str(), g->trace_id(), g->invocations(),
-                  g->aborts());
+                  g->aborts(), g->invocations() - tier0 - tier1, tier0, tier1);
       PrintFitJson(g->abort_cost().Fit());
       std::printf("}%s\n", i + 1 < grafts.size() ? "," : "");
     }
@@ -540,10 +601,15 @@ int main(int argc, char** argv) {
   PrintFitText("kernel-wide", global_fit);
   PrintFitText("all-grafts", graft_union_fit);
   std::printf("\nper-graft:\n");
-  std::printf("  %-18s %12s %8s\n", "graft", "invocations", "aborts");
+  std::printf("  %-18s %12s %8s %8s %8s %8s\n", "graft", "invocations",
+              "aborts", "native", "tier0", "tier1");
   for (const auto& g : grafts) {
-    std::printf("  %-18s %12" PRIu64 " %8" PRIu64 "\n", g->name().c_str(),
-                g->invocations(), g->aborts());
+    const uint64_t tier0 = g->tier_runs(vino::ExecTier::kTier0);
+    const uint64_t tier1 = g->tier_runs(vino::ExecTier::kTier1);
+    std::printf("  %-18s %12" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64
+                " %8" PRIu64 "\n",
+                g->name().c_str(), g->invocations(), g->aborts(),
+                g->invocations() - tier0 - tier1, tier0, tier1);
     PrintFitText("", g->abort_cost().Fit());
   }
   return 0;
