@@ -58,6 +58,8 @@ std::string_view StatusName(Status s) {
       return "LIMIT_EXCEEDED";
     case Status::kBadResult:
       return "BAD_RESULT";
+    case Status::kGraftDegraded:
+      return "GRAFT_DEGRADED";
     case Status::kSpoolTruncated:
       return "SPOOL_TRUNCATED";
     case Status::kSpoolCorrupt:

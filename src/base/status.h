@@ -58,6 +58,9 @@ enum class Status : int32_t {
 
   // Graft result validation.
   kBadResult = -60,  // Graft returned a value that failed validation.
+  // Abort-cost drift (src/graft/drift.h): the graft's recent abort costs
+  // drifted sustainably above its fitted a + bL + cG model.
+  kGraftDegraded = -61,
 
   // --- Trace spool (src/base/trace_spool.h) ------------------------------
   kSpoolTruncated = -70,  // Spool ends mid-batch (live file or torn write);

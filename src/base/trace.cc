@@ -61,6 +61,7 @@ std::string_view EventName(Event e) {
     case Event::kPoolSaturated:  return "pool-saturated";
     case Event::kAbortCost:      return "abort-cost";
     case Event::kGraftRejected:  return "graft-rejected";
+    case Event::kGraftDegraded:  return "graft-degraded";
   }
   return "?";
 }

@@ -86,6 +86,13 @@ enum class Event : uint16_t {
   // Loader (src/graft/loader.cc): the load-time verifier refused a graft.
   // Appended after kAbortCost so existing spool files replay unchanged.
   kGraftRejected,  // tag = Status reason, a32 = failing pc, b = code size.
+
+  // Drift detector (src/graft/drift.h): a graft's recent abort costs
+  // drifted sustainably above its fitted model. Appended last for spool
+  // compatibility.
+  kGraftDegraded,  // tag = strike count, a = graft trace id,
+                   // a32 = min(window/predicted ‰, u32 max),
+                   // b = window mean abort cost ns.
 };
 
 [[nodiscard]] std::string_view EventName(Event e);

@@ -80,6 +80,16 @@ bool EventGraftPoint::RunHandler(const std::shared_ptr<Graft>& graft,
   const InvocationOutcome outcome =
       RunGraftInvocation(*txn_manager_, graft, args, exec_);
   if (IsOk(outcome.status)) {
+    // Drift → action: a handler the detector marked degraded is removed
+    // under the opt-in policy even though this run committed fine.
+    if (graft->degraded() && GlobalDriftPolicy().eject &&
+        IsOk(RemoveHandler(graft->name()))) {
+      VINO_LOG_INFO << "event point '" << name_ << "': handler '"
+                    << graft->name() << "' degraded (abort-cost drift); removed";
+      VINO_TRACE(trace::Event::kGraftEjected,
+                 static_cast<uint16_t>(Status::kGraftDegraded), 0,
+                 graft->trace_id(), graft->aborts());
+    }
     return true;
   }
 

@@ -120,6 +120,14 @@ uint64_t FunctionGraftPoint::RunGraft(const std::shared_ptr<Graft>& graft,
     }
     return default_fn_(args);
   }
+
+  // Drift → action: a graft the detector marked degraded (abort costs
+  // drifting above its fitted model) is ejected under the opt-in policy
+  // even though this invocation committed fine. Its valid result still
+  // counts — the graft misbehaved economically, not semantically.
+  if (graft->degraded() && GlobalDriftPolicy().eject) {
+    ForciblyRemove(graft, Status::kGraftDegraded);
+  }
   return outcome.value;
 }
 

@@ -1,6 +1,9 @@
 #include "src/graft/graft.h"
 
+#include <algorithm>
 #include <atomic>
+
+#include "src/base/trace.h"
 
 namespace vino {
 namespace {
@@ -29,5 +32,31 @@ Graft::Graft(std::string name, NativeFn fn, GraftIdentity owner)
       owner_(owner),
       image_(4096, kNativeArenaLog2),
       account_(name_ + ".account") {}
+
+void Graft::RecordAbortCost(uint64_t locks, uint64_t undo_len,
+                            uint64_t cost_ns) {
+  abort_cost_.Record(locks, undo_len, cost_ns);
+  abort_cost_hist_.Record(cost_ns);
+  const DriftPolicy& policy = GlobalDriftPolicy();
+  if (!policy.detect || degraded()) {
+    return;  // Already degraded: model/histogram keep accumulating above.
+  }
+  const DriftVerdict verdict = drift_.Record(policy, abort_cost_,
+                                             abort_cost_hist_, locks,
+                                             undo_len, cost_ns);
+  if (verdict.degraded) {
+    degraded_.store(true, std::memory_order_relaxed);
+    const double ratio_permille =
+        verdict.predicted_cost_ns > 0.0
+            ? verdict.window_mean_cost_ns / verdict.predicted_cost_ns * 1000.0
+            : 0.0;
+    VINO_TRACE(trace::Event::kGraftDegraded,
+               static_cast<uint16_t>(std::min<uint32_t>(verdict.strikes,
+                                                        UINT16_MAX)),
+               static_cast<uint32_t>(std::min(ratio_permille, 4.0e9)),
+               trace_id_,
+               static_cast<uint64_t>(verdict.window_mean_cost_ns));
+  }
+}
 
 }  // namespace vino

@@ -18,6 +18,7 @@
 
 #include "src/base/histogram.h"
 #include "src/base/status.h"
+#include "src/graft/drift.h"
 #include "src/resource/account.h"
 #include "src/sfi/exec_engine.h"
 #include "src/sfi/memory_image.h"
@@ -101,10 +102,20 @@ class Graft {
   // One abort sample (§4.5 cost model): L locks held, G undo records
   // replayed, measured abort cost. Fed by the invocation wrapper when
   // tracing is enabled; Fit() gives this graft's own a + b·L + c·G line.
-  void RecordAbortCost(uint64_t locks, uint64_t undo_len, uint64_t cost_ns) {
-    abort_cost_.Record(locks, undo_len, cost_ns);
-  }
+  // Also feeds the abort-cost histogram and the drift detector: sustained
+  // drift above the fitted model marks the graft degraded and posts a
+  // kGraftDegraded trace event (src/graft/drift.h).
+  void RecordAbortCost(uint64_t locks, uint64_t undo_len, uint64_t cost_ns);
   [[nodiscard]] const AbortCostModel& abort_cost() const { return abort_cost_; }
+  [[nodiscard]] const LatencyHistogram& abort_cost_hist() const {
+    return abort_cost_hist_;
+  }
+
+  // Sticky: set by the drift detector; graft points eject degraded grafts
+  // on their next invocation when the policy's `eject` is on.
+  [[nodiscard]] bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
 
  private:
   static uint64_t NextTraceId();
@@ -121,6 +132,9 @@ class Graft {
   std::atomic<uint64_t> aborts_{0};
   std::atomic<uint64_t> tier_runs_[kExecTierCount] = {};
   AbortCostModel abort_cost_;
+  LatencyHistogram abort_cost_hist_;
+  DriftDetector drift_;
+  std::atomic<bool> degraded_{false};
 };
 
 }  // namespace vino

@@ -98,6 +98,12 @@ struct GraftExecContext {
   // (all paths) when tracing is enabled. Graft points pass their own so the
   // flight recorder can export per-point p50/p95/p99.
   LatencyHistogram* latency = nullptr;
+
+  // Optional borrowed per-tier histograms, indexed by tier_plus1 (0 =
+  // native / no tier, 1 = Tier 0, 2 = Tier 1). Unlike deriving tiers from
+  // a ring snapshot, these are exact under wrap-around, which is what lets
+  // graftstat assert sum(per-tier counts) == invocations live.
+  LatencyHistogram* tier_latency[kExecTierCount + 1] = {};
 };
 
 struct InvocationOutcome {
@@ -237,6 +243,9 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
       if (exec.latency != nullptr) {
         exec.latency->Record(now_ns - invoke_start_ns);
       }
+      if (exec.tier_latency[tier_plus1] != nullptr) {
+        exec.tier_latency[tier_plus1]->Record(now_ns - invoke_start_ns);
+      }
       trace::Post(trace::Event::kInvokeEnd,
                   trace::PackInvokeTag(trace::PathTag::kAbort, tier_plus1),
                   static_cast<uint32_t>(held_locks), graft->trace_id(),
@@ -279,6 +288,9 @@ inline InvocationOutcome RunGraftInvocation(TxnManager& txn_manager,
     }
     if (exec.latency != nullptr) {
       exec.latency->Record(now_ns - invoke_start_ns);
+    }
+    if (exec.tier_latency[tier_plus1] != nullptr) {
+      exec.tier_latency[tier_plus1]->Record(now_ns - invoke_start_ns);
     }
     trace::Post(trace::Event::kInvokeEnd,
                 trace::PackInvokeTag(!IsOk(commit_status)

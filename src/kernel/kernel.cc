@@ -17,18 +17,13 @@ namespace {
 // Resolves the kernel's spool drainer, if any. Explicit config wins; the
 // VINO_SPOOL environment variable (a directory) derives a per-kernel file
 // name, which is how tools/check.sh spools the whole test suite without
-// touching every test. Failure to open degrades to "no spooling" — the
-// recorder itself keeps working.
+// touching every test; VINO_SPOOL_SEGMENT_BYTES / VINO_SPOOL_SEGMENTS turn
+// the spool into a size-capped segment ring (spool::DeriveEnvSpoolOptions).
+// Failure to open degrades to "no spooling" — the recorder keeps working.
 std::unique_ptr<spool::SpoolDrainer> MakeSpoolDrainer(
     spool::SpoolDrainer::Options options) {
-  if (options.path.empty()) {
-    const char* dir = std::getenv("VINO_SPOOL");
-    if (dir == nullptr || dir[0] == '\0') {
-      return nullptr;
-    }
-    static std::atomic<uint64_t> counter{0};
-    options.path = std::string(dir) + "/vspool." + std::to_string(::getpid()) +
-                   "." + std::to_string(counter.fetch_add(1)) + ".bin";
+  if (!spool::DeriveEnvSpoolOptions(&options)) {
+    return nullptr;
   }
   Result<std::unique_ptr<spool::SpoolDrainer>> drainer =
       spool::SpoolDrainer::Start(options);
@@ -56,7 +51,11 @@ VinoKernel::VinoKernel(const VinoKernelConfig& config)
       mem_(config.memory_frames, &txn_, &host_, &ns_),
       event_pool_(config.event_pool),
       net_(&txn_, &host_, &ns_, &event_pool_),
-      sched_(config.sched, &clock_, &txn_, &host_, &ns_) {}
+      sched_(config.sched, &clock_, &txn_, &host_, &ns_) {
+  if (config.eject_policy.has_value()) {
+    SetGlobalDriftPolicy(*config.eject_policy);
+  }
+}
 
 Result<std::shared_ptr<Graft>> VinoKernel::LoadGraftFromSource(
     std::string_view source, std::string name, GraftIdentity identity,

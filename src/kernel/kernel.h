@@ -18,12 +18,14 @@
 #define VINOLITE_SRC_KERNEL_KERNEL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
 #include "src/base/clock.h"
 #include "src/base/trace_spool.h"
 #include "src/base/worker_pool.h"
+#include "src/graft/drift.h"
 #include "src/fs/buffer_cache.h"
 #include "src/fs/disk.h"
 #include "src/fs/file_system.h"
@@ -61,10 +63,22 @@ struct VinoKernelConfig {
   // trace_spool.path is non-empty — or the VINO_SPOOL environment variable
   // names a directory, from which a per-kernel file name is derived — the
   // kernel owns a background drainer that spools the flight recorder to
-  // disk so long traced runs survive ring wrap-around. A path that cannot
-  // be opened logs a warning and disables spooling; it never fails kernel
+  // disk so long traced runs survive ring wrap-around. With
+  // trace_spool.rotation.segment_bytes set (or VINO_SPOOL_SEGMENT_BYTES /
+  // VINO_SPOOL_SEGMENTS in the environment), the spool is a size-capped
+  // segment ring instead of one unbounded file. A path that cannot be
+  // opened logs a warning and disables spooling; it never fails kernel
   // construction.
   spool::SpoolDrainer::Options trace_spool;
+
+  // Opt-in abort-cost drift policy (DESIGN.md "Fleet observability").
+  // When set, it is installed as the process-global policy at kernel
+  // construction (grafts are process-wide, so the last kernel constructed
+  // with a policy wins); unset kernels leave the current policy alone.
+  // The default policy detects drift (kGraftDegraded events) but does not
+  // eject; set eject = true — or VINO_DRIFT_EJECT=1 — to let graft points
+  // remove degraded grafts automatically.
+  std::optional<DriftPolicy> eject_policy;
 };
 
 class VinoKernel {

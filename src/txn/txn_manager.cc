@@ -210,6 +210,7 @@ void TxnManager::Abort(KernelContext& ctx, Transaction* txn, Status reason) {
     const uint64_t cost_ns = trace::NowNs() - abort_start_ns;
     abort_latency_.Record(cost_ns);
     abort_cost_.Record(traced_locks, traced_undo, cost_ns);
+    recent_abort_cost_.Record(traced_locks, traced_undo, cost_ns);
     trace::Post(trace::Event::kTxnAbort, static_cast<uint16_t>(reason),
                 traced_locks, traced_id, traced_undo);
   }

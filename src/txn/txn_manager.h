@@ -94,6 +94,12 @@ class TxnManager {
   // (§4.5's measured 35 µs + 10 µs·L + c·G): every abort contributes its
   // locks-held count, undo-log length, and measured cost.
   [[nodiscard]] const AbortCostModel& abort_cost() const { return abort_cost_; }
+  // The same samples, windowed to the most recent aborts — "what aborts
+  // cost lately" vs the lifetime fit above. graftstat renders the pair as
+  // a manager-wide drift line; per-graft drift lives in src/graft/drift.h.
+  [[nodiscard]] const AbortCostWindow& recent_abort_cost() const {
+    return recent_abort_cost_;
+  }
 
  private:
   void ReleaseLocks(Transaction* txn);
@@ -122,6 +128,7 @@ class TxnManager {
   LatencyHistogram commit_latency_;
   LatencyHistogram abort_latency_;
   AbortCostModel abort_cost_;
+  AbortCostWindow recent_abort_cost_;
 };
 
 // RAII wrapper for kernel code paths that bracket work in a transaction.

@@ -1,26 +1,55 @@
-// graftstat: the abort-cost diagnosis tool. Three modes:
+// graftstat: the abort-cost diagnosis tool. Four modes:
 //
 //   graftstat [--json] [--invocations N] [--spool-out FILE]
+//             [--spool-out-segment-bytes N] [--spool-out-segments M]
 //     Self-test workload (the paper's §4.5 experiment): abort-heavy grafts
 //     holding L locks and pushing G undo records give the cost model enough
 //     variance to fit cost = a + b·L + c·G per graft. --spool-out also
 //     spools the run's flight-recorder stream to FILE (deterministically —
 //     drained every batch of invocations, so nothing wraps), which is how
-//     the golden test proves a replayed fit matches the live one.
+//     the golden test proves a replayed fit matches the live one. The
+//     segment flags turn the spool into a size-capped rotation ring; with
+//     no --spool-out, the VINO_SPOOL environment (a directory, plus the
+//     VINO_SPOOL_SEGMENT_BYTES / VINO_SPOOL_SEGMENTS knobs) derives a
+//     per-process spool exactly as a kernel would — which is how the fleet
+//     smoke test uses several graftstat self-tests as stand-in kernels.
 //
 //   graftstat --spool FILE [--json]
 //     Attach to a *recorded* deployment: replay a spool written by a
 //     kernel's SpoolDrainer (src/base/trace_spool.h) and rebuild the same
 //     report — per-graft abort counts, L/G means, fitted cost lines,
-//     invocation-latency quantiles — from the records alone. Tolerates
-//     truncated tails (a live or torn file) and skips corrupt batches.
+//     invocation-latency quantiles — from the records alone. FILE may be a
+//     plain spool, one segment of a rotation ring, or the ring's base path;
+//     segments are chained into one logical stream with exact batch_seq /
+//     lost_total continuity. Tolerates truncated tails and skips corrupt
+//     batches.
 //
 //   graftstat --follow FILE [--json] [--interval-ms N]
 //     Attach to a *live* deployment: tail the spool as the kernel writes
 //     it, folding new batches into the running report, until the writer's
 //     close trailer arrives (kernel shutdown) — then print the report.
+//     Rotation-safe: when the tailed segment ends in a rotate trailer (or
+//     is unlinked/renamed under the reader's fd), the follower reopens the
+//     successor segment instead of waiting forever on the stale fd.
+//
+//   graftstat --fleet DIR [--json] [--once] [--interval-ms N]
+//     Attach to *every* kernel spooling under DIR (the VINO_SPOOL
+//     directory): each `vspool.<pid>.<k>[.s<n>].bin` family is one kernel's
+//     stream, tailed with its own chained follower and folded into a
+//     per-kernel report plus a fleet-union view (per-graft fits merged
+//     across kernels via AbortCostModel::Merge). New kernels and rotated
+//     segments are discovered live — inotify on Linux, polling elsewhere.
+//     --once scans and drains what exists now, then reports (scraping
+//     mode); without it the fleet view runs until every discovered kernel
+//     has closed its spool. --follow-dir DIR is an alias.
 
+#include <dirent.h>
+#include <poll.h>
 #include <unistd.h>
+
+#ifdef __linux__
+#include <sys/inotify.h>
+#endif
 
 #include <cinttypes>
 #include <cstdio>
@@ -29,6 +58,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/base/histogram.h"
@@ -80,13 +110,22 @@ vino::Result<uint64_t> Misbehave(std::span<const uint64_t> args,
   return uint64_t{42};
 }
 
+// Latency attribution slot names: index 0 is native (or a pre-tier spool),
+// 1..kExecTierCount are the sandbox execution tiers.
+std::string_view TierLabel(size_t tier_plus1) {
+  return tier_plus1 == 0 ? std::string_view("native")
+                         : vino::ExecTierName(
+                               static_cast<vino::ExecTier>(tier_plus1 - 1));
+}
+
 struct Quantiles {
+  uint64_t count;
   uint64_t p50, p95, p99;
   double mean;
 };
 
 Quantiles Read(const LatencyHistogram& h) {
-  return {h.QuantileNs(0.50), h.QuantileNs(0.95), h.QuantileNs(0.99),
+  return {h.Count(), h.QuantileNs(0.50), h.QuantileNs(0.95), h.QuantileNs(0.99),
           h.MeanNs()};
 }
 
@@ -112,15 +151,44 @@ void PrintFitJson(const AbortCostModel::Fitted& fit) {
 }
 
 void PrintQuantilesJson(const Quantiles& q) {
-  std::printf("{\"p50_ns\": %" PRIu64 ", \"p95_ns\": %" PRIu64
-              ", \"p99_ns\": %" PRIu64 ", \"mean_ns\": %.1f}",
-              q.p50, q.p95, q.p99, q.mean);
+  std::printf("{\"count\": %" PRIu64 ", \"p50_ns\": %" PRIu64
+              ", \"p95_ns\": %" PRIu64 ", \"p99_ns\": %" PRIu64
+              ", \"mean_ns\": %.1f}",
+              q.count, q.p50, q.p95, q.p99, q.mean);
 }
 
 void PrintQuantilesText(const char* label, const Quantiles& q) {
-  std::printf("  %-8s p50=%-10" PRIu64 " p95=%-10" PRIu64 " p99=%-10" PRIu64
-              " mean=%.0f\n",
-              label, q.p50, q.p95, q.p99, q.mean);
+  std::printf("  %-8s n=%-8" PRIu64 " p50=%-10" PRIu64 " p95=%-10" PRIu64
+              " p99=%-10" PRIu64 " mean=%.0f\n",
+              label, q.count, q.p50, q.p95, q.p99, q.mean);
+}
+
+// Per-tier latency views: tiers[0..kExecTierCount] keyed by tier_plus1.
+// Invariant (checked by tools/check.sh): the per-tier counts sum to the
+// total invocation count — every invocation lands in exactly one slot.
+void PrintTierLatencyJson(const LatencyHistogram* tiers) {
+  std::printf("{");
+  for (size_t t = 0; t <= vino::kExecTierCount; ++t) {
+    const std::string_view label = TierLabel(t);
+    std::printf("%s\"%.*s\": ", t == 0 ? "" : ", ",
+                static_cast<int>(label.size()), label.data());
+    PrintQuantilesJson(Read(tiers[t]));
+  }
+  std::printf("}");
+}
+
+void PrintTierLatencyText(const LatencyHistogram* tiers) {
+  for (size_t t = 0; t <= vino::kExecTierCount; ++t) {
+    const Quantiles q = Read(tiers[t]);
+    if (q.count == 0) {
+      continue;  // Text mode: skip tiers nothing ran on.
+    }
+    char label[16];
+    const std::string_view name = TierLabel(t);
+    std::snprintf(label, sizeof(label), "%.*s",
+                  static_cast<int>(name.size()), name.data());
+    PrintQuantilesText(label, q);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -135,6 +203,7 @@ struct ReplayReport {
     // byte (0 = native graft or a legacy spool that predates tier tagging).
     uint64_t untiered_runs = 0;
     uint64_t tier_runs[vino::kExecTierCount] = {};
+    bool degraded = false;  // A kGraftDegraded event named this graft.
     AbortCostModel model;
   };
 
@@ -145,6 +214,9 @@ struct ReplayReport {
   uint64_t txn_commits = 0;
   uint64_t txn_aborts = 0;
   LatencyHistogram invoke_latency;
+  // Invocation latency split by execution tier (tier_plus1-indexed; the
+  // counts sum to invoke_latency's).
+  LatencyHistogram tier_latency[vino::kExecTierCount + 1];
   AbortCostModel global_model;
 
   void Add(const vino::trace::TaggedRecord& tagged) {
@@ -167,17 +239,24 @@ struct ReplayReport {
         }
         break;
       }
-      case Event::kInvokeEnd:
+      case Event::kInvokeEnd: {
         invoke_latency.Record(r.b);
+        const uint16_t tier_plus1 = vino::trace::InvokeTierPlus1(r.tag);
+        tier_latency[tier_plus1 <= vino::kExecTierCount ? tier_plus1 : 0]
+            .Record(r.b);
         // Only the low byte is the path; the high byte carries the tier.
         if (vino::trace::InvokePathTag(r.tag) == PathTag::kAbort) {
           ++grafts[r.a].aborts;
         }
         break;
+      }
       case Event::kAbortCost:
         // The mirrored per-graft sample: a32 = L, tag = G, b = cost ns.
         grafts[r.a].model.Record(r.a32, r.tag, r.b);
         global_model.Record(r.a32, r.tag, r.b);
+        break;
+      case Event::kGraftDegraded:
+        grafts[r.a].degraded = true;
         break;
       case Event::kTxnBegin:
         ++txn_begins;
@@ -194,19 +273,42 @@ struct ReplayReport {
   }
 };
 
-void PrintReplayJson(const char* mode, const std::string& path,
-                     const ReplayReport& report,
-                     const vino::spool::ReadStats& stats, Status status) {
-  std::printf("{\n  \"mode\": \"%s\",\n", mode);
-  std::printf("  \"spool\": {\"path\": \"%s\", \"status\": \"%.*s\", "
+void PrintSpoolStatsJson(const std::string& path,
+                         const vino::spool::ReadStats& stats, Status status) {
+  std::printf("{\"path\": \"%s\", \"status\": \"%.*s\", "
               "\"batches\": %" PRIu64 ", \"corrupt_batches\": %" PRIu64
               ", \"records\": %" PRIu64 ", \"lost_total\": %" PRIu64
-              ", \"truncated\": %s, \"closed\": %s},\n",
+              ", \"truncated\": %s, \"closed\": %s, \"rotated\": %s, "
+              "\"segments\": %" PRIu64 ", \"first_batch_seq\": %" PRIu64
+              ", \"seq_gaps\": %" PRIu64 "}",
               path.c_str(), static_cast<int>(StatusName(status).size()),
               StatusName(status).data(), stats.batches, stats.corrupt_batches,
               stats.records, stats.lost_total,
               stats.truncated ? "true" : "false",
-              stats.closed ? "true" : "false");
+              stats.closed ? "true" : "false",
+              stats.rotated ? "true" : "false", stats.segments,
+              stats.first_batch_seq, stats.seq_gaps);
+}
+
+void PrintGraftAggJson(uint64_t trace_id, const ReplayReport::GraftAgg& agg) {
+  std::printf("{\"trace_id\": %" PRIu64 ", \"invocations\": %" PRIu64
+              ", \"aborts\": %" PRIu64 ", \"degraded\": %s"
+              ", \"runs\": {\"native\": %" PRIu64 ", \"tier0\": %" PRIu64
+              ", \"tier1\": %" PRIu64 "}, \"abort_cost\": ",
+              trace_id, agg.invocations, agg.aborts,
+              agg.degraded ? "true" : "false", agg.untiered_runs,
+              agg.tier_runs[0], agg.tier_runs[1]);
+  PrintFitJson(agg.model.Fit());
+  std::printf("}");
+}
+
+void PrintReplayJson(const char* mode, const std::string& path,
+                     const ReplayReport& report,
+                     const vino::spool::ReadStats& stats, Status status) {
+  std::printf("{\n  \"mode\": \"%s\",\n", mode);
+  std::printf("  \"spool\": ");
+  PrintSpoolStatsJson(path, stats, status);
+  std::printf(",\n");
   std::printf("  \"txn\": {\"begins\": %" PRIu64 ", \"commits\": %" PRIu64
               ", \"aborts\": %" PRIu64 "},\n",
               report.txn_begins, report.txn_commits, report.txn_aborts);
@@ -220,20 +322,17 @@ void PrintReplayJson(const char* mode, const std::string& path,
   std::printf("}},\n");
   std::printf("  \"latency\": {\"invoke\": ");
   PrintQuantilesJson(Read(report.invoke_latency));
+  std::printf(", \"tiers\": ");
+  PrintTierLatencyJson(report.tier_latency);
   std::printf("},\n");
   std::printf("  \"abort_cost_global\": ");
   PrintFitJson(report.global_model.Fit());
   std::printf(",\n  \"grafts\": [\n");
   size_t i = 0;
   for (const auto& [trace_id, agg] : report.grafts) {
-    std::printf("    {\"trace_id\": %" PRIu64 ", \"invocations\": %" PRIu64
-                ", \"aborts\": %" PRIu64
-                ", \"runs\": {\"native\": %" PRIu64 ", \"tier0\": %" PRIu64
-                ", \"tier1\": %" PRIu64 "}, \"abort_cost\": ",
-                trace_id, agg.invocations, agg.aborts, agg.untiered_runs,
-                agg.tier_runs[0], agg.tier_runs[1]);
-    PrintFitJson(agg.model.Fit());
-    std::printf("}%s\n", ++i < report.grafts.size() ? "," : "");
+    std::printf("    ");
+    PrintGraftAggJson(trace_id, agg);
+    std::printf("%s\n", ++i < report.grafts.size() ? "," : "");
   }
   std::printf("  ]\n}\n");
 }
@@ -244,12 +343,19 @@ void PrintReplayText(const char* mode, const std::string& path,
   std::printf("graftstat --%s %s\n\n", mode, path.c_str());
   std::printf("spool: %" PRIu64 " batches (%" PRIu64 " corrupt skipped), %"
               PRIu64 " records, %" PRIu64 " lost to ring wrap before the "
-              "drainer arrived%s%s [%.*s]\n\n",
+              "drainer arrived%s%s [%.*s]\n",
               stats.batches, stats.corrupt_batches, stats.records,
               stats.lost_total, stats.truncated ? ", truncated tail" : "",
               stats.closed ? ", closed cleanly" : "",
               static_cast<int>(StatusName(status).size()),
               StatusName(status).data());
+  std::printf("       %" PRIu64 " segment%s chained (seq %" PRIu64 "..%" PRIu64
+              ", %" PRIu64 " gap%s)%s\n\n",
+              stats.segments, stats.segments == 1 ? "" : "s",
+              stats.first_batch_seq,
+              stats.next_batch_seq > 0 ? stats.next_batch_seq - 1 : 0,
+              stats.seq_gaps, stats.seq_gaps == 1 ? "" : "s",
+              stats.rotated ? ", awaiting successor segment" : "");
   std::printf("transactions: %" PRIu64 " begun, %" PRIu64 " committed, %"
               PRIu64 " aborted\n\n",
               report.txn_begins, report.txn_commits, report.txn_aborts);
@@ -259,6 +365,7 @@ void PrintReplayText(const char* mode, const std::string& path,
   }
   std::printf("\nlatency (ns, bucket upper bounds):\n");
   PrintQuantilesText("invoke", Read(report.invoke_latency));
+  PrintTierLatencyText(report.tier_latency);
   std::printf("\nabort-cost model (paper §4.5: cost = a + b·L + c·G):\n");
   PrintFitText("kernel-wide", report.global_model.Fit());
   std::printf("\nper-graft:\n");
@@ -266,7 +373,8 @@ void PrintReplayText(const char* mode, const std::string& path,
               "aborts", "native", "tier0", "tier1");
   for (const auto& [trace_id, agg] : report.grafts) {
     char label[32];
-    std::snprintf(label, sizeof(label), "graft#%" PRIu64, trace_id);
+    std::snprintf(label, sizeof(label), "graft#%" PRIu64 "%s", trace_id,
+                  agg.degraded ? " [DEGRADED]" : "");
     std::printf("  %-18s %12" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64
                 " %8" PRIu64 "\n",
                 label, agg.invocations, agg.aborts, agg.untiered_runs,
@@ -284,7 +392,7 @@ int ReplayExitCode(Status status) {
 int RunSpoolReplay(const std::string& path, bool json) {
   std::vector<vino::trace::TaggedRecord> records;
   vino::spool::ReadStats stats;
-  const Status status = vino::spool::ReadSpool(path, records, &stats);
+  const Status status = vino::spool::ReadSpoolChain(path, records, &stats);
   if (status == Status::kNotFound) {
     std::fprintf(stderr, "graftstat: cannot open spool '%s'\n", path.c_str());
     return 1;
@@ -302,7 +410,7 @@ int RunSpoolReplay(const std::string& path, bool json) {
 }
 
 int RunSpoolFollow(const std::string& path, bool json, uint64_t interval_ms) {
-  vino::spool::SpoolFollower follower;
+  vino::spool::ChainedFollower follower;
   Status status = follower.Open(path);
   // A spool whose header has not landed yet (or a file that does not exist
   // yet) is a kernel mid-startup: wait for it, bounded at ~30 s.
@@ -323,7 +431,6 @@ int RunSpoolFollow(const std::string& path, bool json, uint64_t interval_ms) {
 
   ReplayReport report;
   std::vector<vino::trace::TaggedRecord> batch;
-  uint64_t polls = 0;
   while (true) {
     batch.clear();
     status = follower.Poll(batch);
@@ -333,13 +440,13 @@ int RunSpoolFollow(const std::string& path, bool json, uint64_t interval_ms) {
     if (!json && !batch.empty()) {
       std::fprintf(stderr,
                    "follow: +%zu records (%" PRIu64 " total, %" PRIu64
-                   " txn aborts)\n",
-                   batch.size(), report.records, report.txn_aborts);
+                   " txn aborts) [%s]\n",
+                   batch.size(), report.records, report.txn_aborts,
+                   follower.current_path().c_str());
     }
     if (!IsOk(status) || follower.closed()) {
       break;
     }
-    ++polls;
     ::usleep(static_cast<useconds_t>(interval_ms * 1000));
   }
   if (json) {
@@ -350,18 +457,376 @@ int RunSpoolFollow(const std::string& path, bool json, uint64_t interval_ms) {
   return ReplayExitCode(status);
 }
 
+// ---------------------------------------------------------------------------
+// Fleet attach: every kernel spooling under one VINO_SPOOL directory,
+// multiplexed into per-kernel reports plus a fleet-union view.
+
+// One kernel's stream: `vspool.<pid>.<k>.bin` (plain) or the
+// `vspool.<pid>.<k>.s<n>.bin` segment family, keyed by "<pid>.<k>".
+struct KernelView {
+  KernelView(std::string key_in, std::string open_path_in)
+      : key(std::move(key_in)), open_path(std::move(open_path_in)) {}
+
+  std::string key;
+  std::string open_path;  // Chain base (segments) or the plain file.
+  vino::spool::ChainedFollower follower;
+  ReplayReport report;
+  bool open = false;
+  bool corrupt = false;
+};
+
+// Scans `dir` for kernel spools; returns kernel key -> chain open path.
+// Segment families collapse onto their base so the chained follower picks
+// up the oldest live segment itself.
+std::map<std::string, std::string> ScanFleetDir(const std::string& dir) {
+  std::map<std::string, std::string> found;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return found;
+  }
+  constexpr std::string_view kPrefix = "vspool.";
+  constexpr std::string_view kSuffix = ".bin";
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= kPrefix.size() + kSuffix.size() ||
+        name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string full = dir + "/" + name;
+    std::string base;
+    uint64_t index = 0;
+    if (vino::spool::ParseSegmentPath(full, &base, &index)) {
+      const std::string base_name = base.substr(base.rfind('/') + 1);
+      if (base_name.size() > kPrefix.size() &&
+          base_name.compare(0, kPrefix.size(), kPrefix) == 0) {
+        found.emplace(base_name.substr(kPrefix.size()), base);
+      }
+    } else {
+      found.emplace(
+          name.substr(kPrefix.size(),
+                      name.size() - kPrefix.size() - kSuffix.size()),
+          full);
+    }
+  }
+  ::closedir(d);
+  return found;
+}
+
+// Polls one kernel's chain; returns true when records arrived. A spool
+// whose header has not landed yet stays unopened and is retried next round.
+bool PollKernel(KernelView& view,
+                std::vector<vino::trace::TaggedRecord>& batch) {
+  if (view.corrupt) {
+    return false;
+  }
+  if (!view.open) {
+    const Status status = view.follower.Open(view.open_path);
+    if (status == Status::kNotFound || status == Status::kSpoolTruncated) {
+      return false;
+    }
+    if (!IsOk(status)) {
+      view.corrupt = true;
+      return false;
+    }
+    view.open = true;
+  }
+  batch.clear();
+  const Status status = view.follower.Poll(batch);
+  for (const auto& r : batch) {
+    view.report.Add(r);
+  }
+  if (!IsOk(status)) {
+    view.corrupt = true;
+  }
+  return !batch.empty();
+}
+
+Status KernelStatus(const KernelView& view) {
+  if (view.corrupt) {
+    return Status::kSpoolCorrupt;
+  }
+  if (!view.open) {
+    return Status::kNotFound;
+  }
+  return view.follower.stats().truncated ? Status::kSpoolTruncated
+                                         : Status::kOk;
+}
+
+// Wakes the fleet loop when the spool directory changes: inotify on Linux
+// (new kernels, rotated segments, and appends all wake immediately), a
+// plain interval sleep elsewhere. Either way the loop rescans on wake, so
+// the inotify path is latency, not correctness.
+class FleetWaiter {
+ public:
+  explicit FleetWaiter(const std::string& dir) {
+#ifdef __linux__
+    fd_ = ::inotify_init1(IN_NONBLOCK | IN_CLOEXEC);
+    if (fd_ >= 0 &&
+        ::inotify_add_watch(fd_, dir.c_str(),
+                            IN_CREATE | IN_MODIFY | IN_MOVED_TO | IN_DELETE) <
+            0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+#else
+    (void)dir;
+#endif
+  }
+  ~FleetWaiter() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  FleetWaiter(const FleetWaiter&) = delete;
+  FleetWaiter& operator=(const FleetWaiter&) = delete;
+
+  void Wait(uint64_t interval_ms) {
+#ifdef __linux__
+    if (fd_ >= 0) {
+      struct pollfd pfd = {fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(interval_ms)) > 0) {
+        char buf[4096];
+        while (::read(fd_, buf, sizeof(buf)) > 0) {
+        }
+      }
+      return;
+    }
+#endif
+    ::usleep(static_cast<useconds_t>(interval_ms * 1000));
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Fleet-union per-graft aggregate: the same graft (by trace id) merged
+// across every kernel that ran it. Trace ids are per-process counters, so
+// the union is meaningful for symmetric deployments — the same grafts
+// loaded in the same order on every kernel — which is the fleet the tool
+// targets; asymmetric fleets still get exact per-kernel views above.
+struct FleetGraftUnion {
+  uint64_t kernels = 0;
+  uint64_t invocations = 0;
+  uint64_t aborts = 0;
+  bool degraded = false;
+  AbortCostModel model;
+};
+
+void PrintFleetJson(const std::string& dir,
+                    const std::map<std::string, std::unique_ptr<KernelView>>&
+                        kernels) {
+  uint64_t fleet_records = 0;
+  AbortCostModel fleet_model;
+  std::map<uint64_t, FleetGraftUnion> unions;
+  for (const auto& [key, view] : kernels) {
+    fleet_records += view->report.records;
+    fleet_model.Merge(view->report.global_model);
+    for (const auto& [trace_id, agg] : view->report.grafts) {
+      FleetGraftUnion& u = unions[trace_id];
+      ++u.kernels;
+      u.invocations += agg.invocations;
+      u.aborts += agg.aborts;
+      u.degraded = u.degraded || agg.degraded;
+      u.model.Merge(agg.model);
+    }
+  }
+
+  std::printf("{\n  \"mode\": \"fleet\",\n  \"dir\": \"%s\",\n", dir.c_str());
+  std::printf("  \"kernels\": [\n");
+  size_t i = 0;
+  for (const auto& [key, view] : kernels) {
+    const ReplayReport& report = view->report;
+    uint64_t native = 0;
+    uint64_t tiers[vino::kExecTierCount] = {};
+    for (const auto& [trace_id, agg] : report.grafts) {
+      native += agg.untiered_runs;
+      for (size_t t = 0; t < vino::kExecTierCount; ++t) {
+        tiers[t] += agg.tier_runs[t];
+      }
+    }
+    std::printf("    {\"kernel\": \"%s\", \"spool\": ", key.c_str());
+    PrintSpoolStatsJson(view->open_path, view->follower.stats(),
+                        KernelStatus(*view));
+    std::printf(",\n     \"txn\": {\"begins\": %" PRIu64
+                ", \"commits\": %" PRIu64 ", \"aborts\": %" PRIu64 "},\n",
+                report.txn_begins, report.txn_commits, report.txn_aborts);
+    std::printf("     \"runs\": {\"native\": %" PRIu64 ", \"tier0\": %" PRIu64
+                ", \"tier1\": %" PRIu64 "},\n",
+                native, tiers[0], tiers[1]);
+    std::printf("     \"latency\": {\"invoke\": ");
+    PrintQuantilesJson(Read(report.invoke_latency));
+    std::printf(", \"tiers\": ");
+    PrintTierLatencyJson(report.tier_latency);
+    std::printf("},\n     \"abort_cost\": ");
+    PrintFitJson(report.global_model.Fit());
+    std::printf(",\n     \"grafts\": [");
+    size_t j = 0;
+    for (const auto& [trace_id, agg] : report.grafts) {
+      std::printf("%s\n       ", j++ == 0 ? "" : ",");
+      PrintGraftAggJson(trace_id, agg);
+    }
+    std::printf("%s]}%s\n", j == 0 ? "" : "\n     ",
+                ++i < kernels.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"fleet\": {\"kernels\": %zu, \"records\": %" PRIu64
+              ", \"abort_cost_union\": ",
+              kernels.size(), fleet_records);
+  PrintFitJson(fleet_model.Fit());
+  std::printf(",\n    \"grafts\": [\n");
+  i = 0;
+  for (const auto& [trace_id, u] : unions) {
+    std::printf("      {\"trace_id\": %" PRIu64 ", \"kernels\": %" PRIu64
+                ", \"invocations\": %" PRIu64 ", \"aborts\": %" PRIu64
+                ", \"degraded\": %s, \"abort_cost\": ",
+                trace_id, u.kernels, u.invocations, u.aborts,
+                u.degraded ? "true" : "false");
+    PrintFitJson(u.model.Fit());
+    std::printf("}%s\n", ++i < unions.size() ? "," : "");
+  }
+  std::printf("    ]}\n}\n");
+}
+
+void PrintFleetText(const std::string& dir,
+                    const std::map<std::string, std::unique_ptr<KernelView>>&
+                        kernels) {
+  std::printf("graftstat --fleet %s (%zu kernel%s)\n\n", dir.c_str(),
+              kernels.size(), kernels.size() == 1 ? "" : "s");
+  std::printf("  %-16s %9s %7s %5s %5s %9s %8s %7s %7s %7s %s\n", "kernel",
+              "records", "batches", "segs", "lost", "txn c/a", "native",
+              "tier0", "tier1", "grafts", "state");
+  uint64_t fleet_records = 0;
+  AbortCostModel fleet_model;
+  std::map<uint64_t, FleetGraftUnion> unions;
+  for (const auto& [key, view] : kernels) {
+    const ReplayReport& report = view->report;
+    const vino::spool::ReadStats& stats = view->follower.stats();
+    uint64_t native = 0;
+    uint64_t tiers[vino::kExecTierCount] = {};
+    for (const auto& [trace_id, agg] : report.grafts) {
+      native += agg.untiered_runs;
+      for (size_t t = 0; t < vino::kExecTierCount; ++t) {
+        tiers[t] += agg.tier_runs[t];
+      }
+      FleetGraftUnion& u = unions[trace_id];
+      ++u.kernels;
+      u.invocations += agg.invocations;
+      u.aborts += agg.aborts;
+      u.degraded = u.degraded || agg.degraded;
+      u.model.Merge(agg.model);
+    }
+    fleet_records += report.records;
+    fleet_model.Merge(report.global_model);
+    char txn[24];
+    std::snprintf(txn, sizeof(txn), "%" PRIu64 "/%" PRIu64, report.txn_commits,
+                  report.txn_aborts);
+    const char* state = view->corrupt ? "corrupt"
+                        : !view->open ? "pending"
+                        : view->follower.closed() ? "closed"
+                                                  : "live";
+    std::printf("  %-16s %9" PRIu64 " %7" PRIu64 " %5" PRIu64 " %5" PRIu64
+                " %9s %8" PRIu64 " %7" PRIu64 " %7" PRIu64 " %7zu %s\n",
+                key.c_str(), report.records, stats.batches, stats.segments,
+                stats.lost_total, txn, native, tiers[0], tiers[1],
+                report.grafts.size(), state);
+  }
+  std::printf("\nfleet-union abort-cost (cost = a + b·L + c·G, %" PRIu64
+              " records):\n",
+              fleet_records);
+  PrintFitText("all-kernels", fleet_model.Fit());
+  for (const auto& [trace_id, u] : unions) {
+    char label[48];
+    std::snprintf(label, sizeof(label),
+                  "graft#%" PRIu64 " ×%" PRIu64 "%s", trace_id, u.kernels,
+                  u.degraded ? " [DEGRADED]" : "");
+    PrintFitText(label, u.model.Fit());
+  }
+}
+
+int RunFleet(const std::string& dir, bool json, uint64_t interval_ms,
+             bool once) {
+  std::map<std::string, std::unique_ptr<KernelView>> kernels;
+  FleetWaiter waiter(dir);
+  std::vector<vino::trace::TaggedRecord> batch;
+  uint64_t last_total = 0;
+  while (true) {
+    for (const auto& [key, path] : ScanFleetDir(dir)) {
+      if (kernels.find(key) == kernels.end()) {
+        kernels.emplace(key, std::make_unique<KernelView>(key, path));
+      }
+    }
+    bool progress = false;
+    for (auto& [key, view] : kernels) {
+      progress = PollKernel(*view, batch) || progress;
+    }
+    if (once) {
+      // Scrape mode: drain everything currently on disk, then report.
+      if (!progress) {
+        break;
+      }
+      continue;
+    }
+    if (!json && progress) {
+      uint64_t total = 0;
+      for (const auto& [key, view] : kernels) {
+        total += view->report.records;
+      }
+      if (total != last_total) {
+        std::fprintf(stderr, "fleet: %zu kernels, %" PRIu64 " records\n",
+                     kernels.size(), total);
+        last_total = total;
+      }
+    }
+    bool all_done = !kernels.empty();
+    for (const auto& [key, view] : kernels) {
+      all_done = all_done &&
+                 (view->corrupt || (view->open && view->follower.closed()));
+    }
+    if (all_done) {
+      break;
+    }
+    waiter.Wait(interval_ms);
+  }
+
+  if (json) {
+    PrintFleetJson(dir, kernels);
+  } else {
+    PrintFleetText(dir, kernels);
+  }
+  if (kernels.empty()) {
+    std::fprintf(stderr, "graftstat: no kernel spools under '%s'\n",
+                 dir.c_str());
+    return 1;
+  }
+  for (const auto& [key, view] : kernels) {
+    if (view->corrupt) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool once = false;
   uint64_t invocations = 2000;
   uint64_t interval_ms = 100;
   std::string spool_path;    // --spool: replay.
   std::string follow_path;   // --follow: tail.
+  std::string fleet_dir;     // --fleet / --follow-dir: multiplexed tail.
   std::string spool_out;     // --spool-out: spool the self-test run.
+  uint64_t spool_out_segment_bytes = 0;  // 0 = no rotation flag given.
+  uint64_t spool_out_segments = 0;       // 0 = keep the default cap.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
     } else if (std::strcmp(argv[i], "--invocations") == 0 && i + 1 < argc) {
       invocations = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--interval-ms") == 0 && i + 1 < argc) {
@@ -370,14 +835,28 @@ int main(int argc, char** argv) {
       spool_path = argv[++i];
     } else if (std::strcmp(argv[i], "--follow") == 0 && i + 1 < argc) {
       follow_path = argv[++i];
+    } else if ((std::strcmp(argv[i], "--fleet") == 0 ||
+                std::strcmp(argv[i], "--follow-dir") == 0) &&
+               i + 1 < argc) {
+      fleet_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--spool-out") == 0 && i + 1 < argc) {
       spool_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--spool-out-segment-bytes") == 0 &&
+               i + 1 < argc) {
+      spool_out_segment_bytes = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--spool-out-segments") == 0 &&
+               i + 1 < argc) {
+      spool_out_segments = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
                    "usage: graftstat [--json] [--invocations N] "
                    "[--spool-out FILE]\n"
+                   "                 [--spool-out-segment-bytes N] "
+                   "[--spool-out-segments M]\n"
                    "       graftstat --spool FILE [--json]\n"
                    "       graftstat --follow FILE [--json] "
+                   "[--interval-ms N]\n"
+                   "       graftstat --fleet DIR [--json] [--once] "
                    "[--interval-ms N]\n");
       return 2;
     }
@@ -389,21 +868,38 @@ int main(int argc, char** argv) {
   if (!follow_path.empty()) {
     return RunSpoolFollow(follow_path, json, interval_ms == 0 ? 1 : interval_ms);
   }
+  if (!fleet_dir.empty()) {
+    return RunFleet(fleet_dir, json, interval_ms == 0 ? 1 : interval_ms, once);
+  }
 
   vino::trace::SetEnabled(true);
 
   // Deterministic spooling for the self-test: drain every batch of
   // invocations (a batch's records fit the ring several times over), so the
   // spooled stream is lossless and a replayed fit must equal the live one.
+  // With no --spool-out, the VINO_SPOOL environment derives a per-process
+  // path exactly like a kernel (DeriveEnvSpoolOptions) — several self-test
+  // processes pointed at one directory stand in for a fleet of kernels.
+  vino::spool::SpoolDrainer::Options spool_options;
+  spool_options.path = spool_out;
+  const bool want_spool = vino::spool::DeriveEnvSpoolOptions(&spool_options);
+  if (spool_out_segment_bytes > 0) {
+    spool_options.rotation.segment_bytes = spool_out_segment_bytes;
+  }
+  if (spool_out_segments > 0) {
+    spool_options.rotation.max_segments =
+        static_cast<uint32_t>(spool_out_segments);
+  }
   std::unique_ptr<vino::spool::SpoolDrainer> drainer;
-  if (!spool_out.empty()) {
-    auto started = vino::spool::SpoolDrainer::Start({.path = spool_out});
+  if (want_spool) {
+    auto started = vino::spool::SpoolDrainer::Start(spool_options);
     if (!started.ok()) {
       std::fprintf(stderr, "graftstat: cannot open --spool-out '%s'\n",
-                   spool_out.c_str());
+                   spool_options.path.c_str());
       return 1;
     }
     drainer = std::move(started.value());
+    spool_out = spool_options.path;
   }
 
   TxnManager txn_manager;
@@ -471,8 +967,15 @@ int main(int argc, char** argv) {
   }
 
   LatencyHistogram invoke_latency;
+  // Exact per-tier invocation latency, recorded at the invocation wrapper's
+  // existing latency sites (not rebuilt from the ring, which wraps): the
+  // tier counts must sum to the invocation count.
+  LatencyHistogram tier_latency[vino::kExecTierCount + 1];
   vino::GraftExecContext exec(nullptr);
   exec.latency = &invoke_latency;
+  for (size_t t = 0; t <= vino::kExecTierCount; ++t) {
+    exec.tier_latency[t] = &tier_latency[t];
+  }
 
   for (uint64_t i = 0; i < invocations; ++i) {
     const Profile& p = profiles[i % std::size(profiles)];
@@ -516,6 +1019,24 @@ int main(int argc, char** argv) {
   }
   const AbortCostModel::Fitted graft_union_fit = graft_union.Fit();
 
+  // Manager-wide drift line: what the most recent aborts cost vs what the
+  // lifetime fit predicts for their (L, G) shape. Per-graft drift runs in
+  // the kernel itself (src/graft/drift.h); this is the at-a-glance view.
+  const vino::AbortCostWindow::Snapshot recent =
+      txn_manager.recent_abort_cost().Read();
+  double recent_predicted_ns = 0.0;
+  if (global_fit.valid && recent.samples > 0) {
+    recent_predicted_ns = global_fit.a_ns +
+                          global_fit.b_ns * recent.mean_locks +
+                          global_fit.c_ns * recent.mean_undo;
+    if (recent_predicted_ns < 0.0) {
+      recent_predicted_ns = 0.0;
+    }
+  }
+  const double recent_ratio =
+      recent_predicted_ns > 0.0 ? recent.mean_cost_ns / recent_predicted_ns
+                                : 0.0;
+
   // ---- Report ---------------------------------------------------------
   if (json) {
     std::printf("{\n  \"invocations\": %" PRIu64 ",\n", invocations);
@@ -523,8 +1044,10 @@ int main(int argc, char** argv) {
       const vino::spool::SpoolDrainer::Stats ds = drainer->stats();
       std::printf("  \"spool_out\": {\"path\": \"%s\", \"records\": %" PRIu64
                   ", \"batches\": %" PRIu64 ", \"lost_total\": %" PRIu64
-                  "},\n",
-                  spool_out.c_str(), ds.records, ds.batches, ds.lost_total);
+                  ", \"segments\": %" PRIu64
+                  ", \"segments_reclaimed\": %" PRIu64 "},\n",
+                  spool_out.c_str(), ds.records, ds.batches, ds.lost_total,
+                  ds.segments, ds.segments_reclaimed);
     }
     std::printf("  \"txn\": {\"begins\": %" PRIu64 ", \"commits\": %" PRIu64
                 ", \"aborts\": %" PRIu64 "},\n",
@@ -546,11 +1069,20 @@ int main(int argc, char** argv) {
     PrintQuantilesJson(commit_q);
     std::printf(", \"abort\": ");
     PrintQuantilesJson(abort_q);
+    std::printf(", \"tiers\": ");
+    PrintTierLatencyJson(tier_latency);
     std::printf("},\n");
     std::printf("  \"abort_cost_global\": ");
     PrintFitJson(global_fit);
     std::printf(",\n  \"abort_cost_grafts\": ");
     PrintFitJson(graft_union_fit);
+    std::printf(",\n  \"abort_cost_recent\": {\"samples\": %" PRIu64
+                ", \"total\": %" PRIu64 ", \"mean_locks\": %.2f, "
+                "\"mean_undo\": %.2f, \"mean_cost_ns\": %.1f, "
+                "\"predicted_ns\": %.1f, \"ratio\": %.3f}",
+                recent.samples, recent.total, recent.mean_locks,
+                recent.mean_undo, recent.mean_cost_ns, recent_predicted_ns,
+                recent_ratio);
     std::printf(",\n  \"grafts\": [\n");
     for (size_t i = 0; i < grafts.size(); ++i) {
       const auto& g = grafts[i];
@@ -558,10 +1090,12 @@ int main(int argc, char** argv) {
       const uint64_t tier1 = g->tier_runs(vino::ExecTier::kTier1);
       std::printf("    {\"name\": \"%s\", \"trace_id\": %" PRIu64
                   ", \"invocations\": %" PRIu64 ", \"aborts\": %" PRIu64
+                  ", \"degraded\": %s"
                   ", \"runs\": {\"native\": %" PRIu64 ", \"tier0\": %" PRIu64
                   ", \"tier1\": %" PRIu64 "}, \"abort_cost\": ",
                   g->name().c_str(), g->trace_id(), g->invocations(),
-                  g->aborts(), g->invocations() - tier0 - tier1, tier0, tier1);
+                  g->aborts(), g->degraded() ? "true" : "false",
+                  g->invocations() - tier0 - tier1, tier0, tier1);
       PrintFitJson(g->abort_cost().Fit());
       std::printf("}%s\n", i + 1 < grafts.size() ? "," : "");
     }
@@ -586,13 +1120,17 @@ int main(int argc, char** argv) {
   if (drainer != nullptr) {
     const vino::spool::SpoolDrainer::Stats ds = drainer->stats();
     std::printf("spooled: %" PRIu64 " records in %" PRIu64 " batches -> %s "
-                "(%" PRIu64 " lost)\n",
-                ds.records, ds.batches, spool_out.c_str(), ds.lost_total);
+                "(%" PRIu64 " lost, %" PRIu64 " segment%s, %" PRIu64
+                " reclaimed)\n",
+                ds.records, ds.batches, spool_out.c_str(), ds.lost_total,
+                ds.segments, ds.segments == 1 ? "" : "s",
+                ds.segments_reclaimed);
   }
   std::printf("\n");
 
   std::printf("latency (ns, bucket upper bounds):\n");
   PrintQuantilesText("invoke", invoke_q);
+  PrintTierLatencyText(tier_latency);
   PrintQuantilesText("commit", commit_q);
   PrintQuantilesText("abort", abort_q);
   std::printf("\n");
@@ -600,15 +1138,25 @@ int main(int argc, char** argv) {
   std::printf("abort-cost model (paper §4.5: cost = a + b·L + c·G):\n");
   PrintFitText("kernel-wide", global_fit);
   PrintFitText("all-grafts", graft_union_fit);
+  if (recent.samples > 0 && recent_predicted_ns > 0.0) {
+    std::printf("  %-14s last %" PRIu64 " of %" PRIu64
+                " aborts: mean cost %.1f µs vs fitted %.1f µs (×%.2f)\n",
+                "recent-drift", recent.samples, recent.total,
+                recent.mean_cost_ns / 1e3, recent_predicted_ns / 1e3,
+                recent_ratio);
+  }
   std::printf("\nper-graft:\n");
   std::printf("  %-18s %12s %8s %8s %8s %8s\n", "graft", "invocations",
               "aborts", "native", "tier0", "tier1");
   for (const auto& g : grafts) {
     const uint64_t tier0 = g->tier_runs(vino::ExecTier::kTier0);
     const uint64_t tier1 = g->tier_runs(vino::ExecTier::kTier1);
+    char label[48];
+    std::snprintf(label, sizeof(label), "%s%s", g->name().c_str(),
+                  g->degraded() ? " [DEGRADED]" : "");
     std::printf("  %-18s %12" PRIu64 " %8" PRIu64 " %8" PRIu64 " %8" PRIu64
                 " %8" PRIu64 "\n",
-                g->name().c_str(), g->invocations(), g->aborts(),
+                label, g->invocations(), g->aborts(),
                 g->invocations() - tier0 - tier1, tier0, tier1);
     PrintFitText("", g->abort_cost().Fit());
   }

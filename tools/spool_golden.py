@@ -11,9 +11,15 @@ matches the in-process one:
     within printing precision (the replayed model consumes the exact same
     integer samples, mirrored into kAbortCost records),
   * invocation-latency quantiles are identical (same recorded durations),
+  * per-tier latency counts sum to the invocation count,
   * the spool itself reads back clean: closed, no loss, no corruption.
 
-Finally --follow on the closed spool must terminate (close trailer) and
+The same checks then run against a *rotated* spool: the identical workload
+written as a segment ring (small segments, cap high enough that nothing is
+reclaimed) must replay to an identical report through the chain reader —
+rotation is provably lossless, not just plausible.
+
+Finally --follow on each closed spool must terminate (close trailer) and
 exit 0.
 
 Usage: spool_golden.py <graftstat-binary> <workdir>
@@ -59,75 +65,131 @@ def check_fit_close(label, live, replay):
             fail(f"{label}: {key} diverged: live {a} vs replay {b}")
 
 
-def main():
-    if len(sys.argv) != 3:
-        fail(f"usage: {sys.argv[0]} <graftstat-binary> <workdir>")
-    graftstat, workdir = sys.argv[1], sys.argv[2]
-    os.makedirs(workdir, exist_ok=True)
-    spool = os.path.join(workdir, "golden.vspool")
+def check_tier_sum(label, report):
+    """Per-tier latency counts partition the invocation count."""
+    invoke = report["latency"]["invoke"]["count"]
+    tiers = report["latency"]["tiers"]
+    total = sum(t["count"] for t in tiers.values())
+    if total != invoke:
+        fail(f"{label}: tier latency counts {total} != invocations {invoke}: "
+             f"{tiers}")
 
-    live = run_json([graftstat, "--json", "--invocations", str(INVOCATIONS),
-                     "--spool-out", spool])
+
+def check_replay(tag, graftstat, live, spool):
+    """Replays `spool` and checks it reproduces the `live` report exactly."""
     replay = run_json([graftstat, "--spool", spool, "--json"])
 
     # The spooled stream must be lossless and intact, or nothing else holds.
-    if live["spool_out"]["lost_total"] != 0:
-        fail(f"live run lost records: {live['spool_out']}")
     rs = replay["spool"]
     if rs["status"] != "OK" or not rs["closed"] or rs["truncated"]:
-        fail(f"replayed spool not clean: {rs}")
+        fail(f"{tag}: replayed spool not clean: {rs}")
     if rs["corrupt_batches"] != 0 or rs["lost_total"] != 0:
-        fail(f"replayed spool lost or corrupt: {rs}")
+        fail(f"{tag}: replayed spool lost or corrupt: {rs}")
+    if rs["first_batch_seq"] != 0 or rs["seq_gaps"] != 0:
+        fail(f"{tag}: replayed spool stream not continuous: {rs}")
 
     # Transaction counts: one txn per invocation, same commit/abort split.
     if live["txn"] != replay["txn"]:
-        fail(f"txn counts diverged: live {live['txn']} vs "
+        fail(f"{tag}: txn counts diverged: live {live['txn']} vs "
              f"replay {replay['txn']}")
 
     # Per-graft: join by trace_id; counts exact, fits within print precision.
     live_grafts = {g["trace_id"]: g for g in live["grafts"]}
     replay_grafts = {g["trace_id"]: g for g in replay["grafts"]}
     if set(live_grafts) != set(replay_grafts):
-        fail(f"graft sets diverged: live {sorted(live_grafts)} vs "
+        fail(f"{tag}: graft sets diverged: live {sorted(live_grafts)} vs "
              f"replay {sorted(replay_grafts)}")
     aborts_total = 0
     for trace_id, lg in live_grafts.items():
         rg = replay_grafts[trace_id]
         name = lg.get("name", f"graft#{trace_id}")
         if lg["invocations"] != rg["invocations"]:
-            fail(f"{name}: invocations diverged: "
+            fail(f"{tag}: {name}: invocations diverged: "
                  f"{lg['invocations']} vs {rg['invocations']}")
         if lg["aborts"] != rg["aborts"]:
-            fail(f"{name}: aborts diverged: {lg['aborts']} vs {rg['aborts']}")
+            fail(f"{tag}: {name}: aborts diverged: "
+                 f"{lg['aborts']} vs {rg['aborts']}")
+        if lg["degraded"] != rg["degraded"]:
+            fail(f"{tag}: {name}: degraded flag diverged: "
+                 f"{lg['degraded']} vs {rg['degraded']}")
         aborts_total += lg["aborts"]
-        check_fit_close(name, lg["abort_cost"], rg["abort_cost"])
+        check_fit_close(f"{tag}: {name}", lg["abort_cost"], rg["abort_cost"])
     if aborts_total == 0:
-        fail("workload produced no aborts; the golden test is vacuous")
+        fail(f"{tag}: workload produced no aborts; the golden test is vacuous")
 
     # The replay's global model rebuilds the union of per-graft samples —
     # compare it against the live report's merged "abort_cost_grafts" (the
     # live "abort_cost_global" is the txn-internal model, a narrower cost
     # window, and legitimately differs).
-    check_fit_close("all-grafts", live["abort_cost_grafts"],
+    check_fit_close(f"{tag}: all-grafts", live["abort_cost_grafts"],
                     replay["abort_cost_global"])
 
-    # Same recorded durations -> identical latency histogram.
+    # Same recorded durations -> identical latency histograms, and the
+    # replayed per-tier counts still partition the invocation count.
     li, ri = live["latency"]["invoke"], replay["latency"]["invoke"]
     for key in ("p50_ns", "p95_ns", "p99_ns"):
         if li[key] != ri[key]:
-            fail(f"invoke latency {key} diverged: {li[key]} vs {ri[key]}")
+            fail(f"{tag}: invoke latency {key} diverged: "
+                 f"{li[key]} vs {ri[key]}")
+    check_tier_sum(f"{tag}: replay", replay)
+    for tier, lt in live["latency"]["tiers"].items():
+        rt = replay["latency"]["tiers"][tier]
+        if lt["count"] != rt["count"]:
+            fail(f"{tag}: tier '{tier}' count diverged: "
+                 f"{lt['count']} vs {rt['count']}")
 
     # A closed spool must terminate --follow promptly, exit 0.
     follow = run_json([graftstat, "--follow", spool, "--json",
                        "--interval-ms", "10"])
     if not follow["spool"]["closed"]:
-        fail(f"--follow did not see the close trailer: {follow['spool']}")
+        fail(f"{tag}: --follow did not see the close trailer: "
+             f"{follow['spool']}")
     if follow["txn"] != live["txn"]:
-        fail(f"--follow txn counts diverged: {follow['txn']} vs {live['txn']}")
+        fail(f"{tag}: --follow txn counts diverged: "
+             f"{follow['txn']} vs {live['txn']}")
+    return rs, aborts_total, len(live_grafts)
+
+
+def main():
+    if len(sys.argv) != 3:
+        fail(f"usage: {sys.argv[0]} <graftstat-binary> <workdir>")
+    graftstat, workdir = sys.argv[1], sys.argv[2]
+    os.makedirs(workdir, exist_ok=True)
+
+    # --- Plain single-file spool -----------------------------------------
+    spool = os.path.join(workdir, "golden.vspool")
+    live = run_json([graftstat, "--json", "--invocations", str(INVOCATIONS),
+                     "--spool-out", spool])
+    if live["spool_out"]["lost_total"] != 0:
+        fail(f"live run lost records: {live['spool_out']}")
+    check_tier_sum("live", live)
+    rs, aborts_total, graft_count = check_replay("plain", graftstat, live,
+                                                 spool)
+
+    # --- Rotated segment-ring spool --------------------------------------
+    # Small segments force several rotations; the generous cap means nothing
+    # is reclaimed, so the chain must replay to the *identical* report.
+    rbase = os.path.join(workdir, "golden.rspool")
+    rlive = run_json([graftstat, "--json", "--invocations", str(INVOCATIONS),
+                      "--spool-out", rbase,
+                      "--spool-out-segment-bytes", "65536",
+                      "--spool-out-segments", "64"])
+    rso = rlive["spool_out"]
+    if rso["lost_total"] != 0:
+        fail(f"rotated live run lost records: {rso}")
+    if rso["segments"] < 2:
+        fail(f"rotated live run never rotated: {rso}")
+    if rso["segments_reclaimed"] != 0:
+        fail(f"rotated live run reclaimed segments; golden must be "
+             f"lossless: {rso}")
+    rrs, _, _ = check_replay("rotated", graftstat, rlive, rbase)
+    if rrs["segments"] < 2:
+        fail(f"chain replay collapsed to one segment: {rrs}")
 
     print(f"spool_golden: OK ({INVOCATIONS} invocations, "
-          f"{rs['records']} records, {aborts_total} aborts, "
-          f"{len(live_grafts)} grafts match)")
+          f"{rs['records']} records plain + {rrs['records']} rotated over "
+          f"{rrs['segments']} segments, {aborts_total} aborts, "
+          f"{graft_count} grafts match)")
 
 
 if __name__ == "__main__":
