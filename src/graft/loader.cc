@@ -95,20 +95,21 @@ Result<std::shared_ptr<Graft>> GraftLoader::Load(const SignedGraft& signed_graft
 
 Status GraftLoader::InstallFunction(const std::string& point_name,
                                     std::shared_ptr<Graft> graft) {
-  Result<FunctionGraftPoint*> point = ns_->LookupFunction(point_name);
-  if (!point.ok()) {
-    return point.status();
-  }
-  return point.value()->Replace(std::move(graft));
+  // WithFunction holds the namespace's shared lock across the install, so a
+  // concurrent owner teardown (Unregister, exclusive) cannot destroy the
+  // point mid-Replace.
+  return ns_->WithFunction(point_name,
+                           [&graft](FunctionGraftPoint& point) -> Status {
+                             return point.Replace(std::move(graft));
+                           });
 }
 
 Status GraftLoader::InstallEvent(const std::string& point_name,
                                  std::shared_ptr<Graft> graft, int order) {
-  Result<EventGraftPoint*> point = ns_->LookupEvent(point_name);
-  if (!point.ok()) {
-    return point.status();
-  }
-  return point.value()->AddHandler(std::move(graft), order);
+  return ns_->WithEvent(point_name,
+                        [&graft, order](EventGraftPoint& point) -> Status {
+                          return point.AddHandler(std::move(graft), order);
+                        });
 }
 
 Result<std::shared_ptr<Graft>> GraftLoader::LoadNativeUnsafe(

@@ -1,29 +1,32 @@
 #include "src/graft/namespace.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "src/graft/event_point.h"
 #include "src/graft/function_point.h"
 
 namespace vino {
 
 void GraftNamespace::RegisterFunction(FunctionGraftPoint* point) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::shared_mutex> guard(mutex_);
   functions_[point->name()] = point;
 }
 
 void GraftNamespace::RegisterEvent(EventGraftPoint* point) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::shared_mutex> guard(mutex_);
   events_[point->name()] = point;
 }
 
 void GraftNamespace::Unregister(const std::string& name) {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::unique_lock<std::shared_mutex> guard(mutex_);
   functions_.erase(name);
   events_.erase(name);
 }
 
 Result<FunctionGraftPoint*> GraftNamespace::LookupFunction(
     const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::shared_lock<std::shared_mutex> guard(mutex_);
   const auto it = functions_.find(name);
   if (it == functions_.end()) {
     return Status::kNotFound;
@@ -33,7 +36,7 @@ Result<FunctionGraftPoint*> GraftNamespace::LookupFunction(
 
 Result<EventGraftPoint*> GraftNamespace::LookupEvent(
     const std::string& name) const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::shared_lock<std::shared_mutex> guard(mutex_);
   const auto it = events_.find(name);
   if (it == events_.end()) {
     return Status::kNotFound;
@@ -41,8 +44,30 @@ Result<EventGraftPoint*> GraftNamespace::LookupEvent(
   return it->second;
 }
 
+Status GraftNamespace::WithFunction(
+    const std::string& name,
+    const std::function<Status(FunctionGraftPoint&)>& fn) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  const auto it = functions_.find(name);
+  if (it == functions_.end()) {
+    return Status::kNotFound;
+  }
+  return fn(*it->second);
+}
+
+Status GraftNamespace::WithEvent(
+    const std::string& name,
+    const std::function<Status(EventGraftPoint&)>& fn) const {
+  std::shared_lock<std::shared_mutex> guard(mutex_);
+  const auto it = events_.find(name);
+  if (it == events_.end()) {
+    return Status::kNotFound;
+  }
+  return fn(*it->second);
+}
+
 std::vector<GraftNamespace::EntryInfo> GraftNamespace::List() const {
-  std::lock_guard<std::mutex> guard(mutex_);
+  std::shared_lock<std::shared_mutex> guard(mutex_);
   std::vector<EntryInfo> out;
   out.reserve(functions_.size() + events_.size());
   for (const auto& [name, point] : functions_) {
@@ -52,6 +77,8 @@ std::vector<GraftNamespace::EntryInfo> GraftNamespace::List() const {
     out.push_back(
         EntryInfo{name, true, point->restricted(), point->handler_count() > 0});
   }
+  std::sort(out.begin(), out.end(),
+            [](const EntryInfo& a, const EntryInfo& b) { return a.name < b.name; });
   return out;
 }
 

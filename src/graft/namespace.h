@@ -9,13 +9,22 @@
 // Names are dotted paths like "openfile.42.compute-ra" or
 // "net.tcp.80.connection". Kernel objects register their points at
 // construction; applications look them up by name.
+//
+// Lookup is the hottest shared read path in a multi-installer kernel —
+// every install and every by-name invocation goes through it — so the
+// namespace is read-mostly: lookups and visits take a shared lock on a
+// shared_mutex over unordered maps; only registration and teardown
+// (cold, per kernel object) take it exclusive. Under PR 9's serving load
+// the old exclusive-only std::mutex was the single hottest lock in the
+// kernel.
 
 #ifndef VINOLITE_SRC_GRAFT_NAMESPACE_H_
 #define VINOLITE_SRC_GRAFT_NAMESPACE_H_
 
-#include <map>
-#include <mutex>
+#include <functional>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/base/status.h"
@@ -36,12 +45,31 @@ class GraftNamespace {
   void RegisterFunction(FunctionGraftPoint* point);
   void RegisterEvent(EventGraftPoint* point);
 
-  // Deregistration (kernel object teardown).
+  // Deregistration (kernel object teardown). Blocks until in-flight
+  // WithFunction/WithEvent visits drain, so an owner that unregisters
+  // before destroying its point cannot pull it out from under a visitor.
   void Unregister(const std::string& name);
 
+  // Raw lookups. The returned pointer's lifetime is the caller's problem:
+  // it is only safe when the caller separately guarantees the point's owner
+  // outlives the use (e.g. single-threaded setup, or the caller owns the
+  // point). Concurrent code should prefer the With* visitors below.
   [[nodiscard]] Result<FunctionGraftPoint*> LookupFunction(
       const std::string& name) const;
   [[nodiscard]] Result<EventGraftPoint*> LookupEvent(const std::string& name) const;
+
+  // Lifetime-safe lookup: runs `fn` on the named point while holding the
+  // namespace's shared lock, so a concurrent Unregister (which takes the
+  // lock exclusive) cannot complete — and the owner cannot legally destroy
+  // the point — until the visit returns. This closes the PR-9 race where a
+  // lookup returned a point that was torn down mid-invoke. kNotFound if the
+  // name is absent; otherwise whatever `fn` returns. `fn` may install,
+  // invoke, or remove grafts (points are internally thread-safe) but must
+  // not call back into registration/teardown paths of this namespace.
+  Status WithFunction(const std::string& name,
+                      const std::function<Status(FunctionGraftPoint&)>& fn) const;
+  Status WithEvent(const std::string& name,
+                   const std::function<Status(EventGraftPoint&)>& fn) const;
 
   // All registered names with a kind tag, for introspection tools.
   struct EntryInfo {
@@ -53,9 +81,9 @@ class GraftNamespace {
   [[nodiscard]] std::vector<EntryInfo> List() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, FunctionGraftPoint*> functions_;
-  std::map<std::string, EventGraftPoint*> events_;
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, FunctionGraftPoint*> functions_;
+  std::unordered_map<std::string, EventGraftPoint*> events_;
 };
 
 }  // namespace vino

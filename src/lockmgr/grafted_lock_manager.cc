@@ -1,19 +1,16 @@
 #include "src/lockmgr/grafted_lock_manager.h"
 
 #include <algorithm>
+#include <cstddef>
 
 namespace vino {
-namespace {
 
-bool ConflictsWithHolders(const LockState& state, const LockRequest& request) {
-  return std::any_of(state.holders.begin(), state.holders.end(),
-                     [&request](const LockRequest& h) {
-                       return h.holder != request.holder &&
-                              !Compatible(h.mode, request.mode);
-                     });
-}
-
-}  // namespace
+using lockdetail::AlreadyHolds;
+using lockdetail::CancelLocked;
+using lockdetail::ConflictsWithHolders;
+using lockdetail::LockShardTable;
+using lockdetail::PromoteWaiters;
+using lockdetail::ReleaseLocked;
 
 GraftedLockManager::GraftedLockManager(const std::string& name,
                                        TxnManager* txn_manager,
@@ -107,83 +104,103 @@ uint64_t GraftedLockManager::ConsultEnqueue(const LockState& state,
   if (graft != nullptr && !graft->is_native()) {
     Marshal(state, request, graft, args);
   }
-  uint64_t index = enqueue_point_.Invoke(args);
-  if (index > state.waiters.size()) {
-    index = state.waiters.size();  // Kernel-side clamp of graft output.
-  }
-  deciding_state_ = nullptr;
-  deciding_request_ = nullptr;
-  return index;
+  return enqueue_point_.Invoke(args);
 }
 
 Status GraftedLockManager::GetLock(LockResourceId resource, LockHolderId holder,
                                    LockMode mode) {
-  LockState& state = locks_[resource];
-  const bool already =
-      std::any_of(state.holders.begin(), state.holders.end(),
-                  [holder](const LockRequest& h) { return h.holder == holder; });
-  if (already) {
-    return Status::kAlreadyExists;
-  }
+  LockShardTable::Shard& shard = table_.ShardFor(resource);
   const LockRequest request{holder, mode};
 
-  // A grant graft can *deny* requests the default would grant (fair
-  // queueing), but it must not grant conflicting requests: the kernel
-  // re-checks compatibility — the graft chooses policy, not safety.
-  const bool graft_says_grant = ConsultGrant(state, request) != 0;
+  // Snapshot the state under the shard mutex, then consult the policy
+  // grafts against the snapshot with the mutex dropped.
+  LockState snapshot;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.locks.find(resource);
+    if (it != shard.locks.end()) {
+      if (AlreadyHolds(it->second, holder)) {
+        return Status::kAlreadyExists;
+      }
+      snapshot = it->second;
+    }
+  }
+
+  bool graft_says_grant;
+  uint64_t queue_index = 0;
+  {
+    std::lock_guard<std::mutex> consult(consult_mutex_);
+    // A grant graft can *deny* requests the default would grant (fair
+    // queueing), but it must not grant conflicting requests: the kernel
+    // re-checks compatibility below — the graft chooses policy, not safety.
+    graft_says_grant = ConsultGrant(snapshot, request) != 0;
+    if (!graft_says_grant) {
+      queue_index = ConsultEnqueue(snapshot, request);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  LockState& state = shard.locks[resource];
+  if (AlreadyHolds(state, holder)) {
+    return Status::kAlreadyExists;
+  }
   if (graft_says_grant && !ConflictsWithHolders(state, request)) {
     state.holders.push_back(request);
     return Status::kOk;
   }
-
-  const uint64_t index = ConsultEnqueue(state, request);
+  // Queue. If the grant answer was stale-positive (a conflicting holder
+  // arrived while we consulted), there is no graft-chosen index; append.
+  size_t index = graft_says_grant
+                     ? state.waiters.size()
+                     : static_cast<size_t>(queue_index);
+  if (index > state.waiters.size()) {
+    index = state.waiters.size();  // Kernel-side clamp of graft output.
+  }
   state.waiters.insert(state.waiters.begin() + static_cast<ptrdiff_t>(index),
                        request);
+  // The lock may have drained while the graft deliberated (or the graft may
+  // deny requests on an idle lock). Promotion only ever runs on release, and
+  // nobody releases an idle lock — so a request queued against empty holders
+  // would wait forever. Re-run kernel promotion in exactly that case; while
+  // holders remain, their release will promote, and the graft's denial
+  // stands until then.
+  if (state.holders.empty()) {
+    PromoteWaiters(state);
+    if (AlreadyHolds(state, holder)) {
+      return Status::kOk;
+    }
+  }
   return Status::kBusy;
 }
 
 Status GraftedLockManager::ReleaseLock(LockResourceId resource,
                                        LockHolderId holder) {
-  const auto it = locks_.find(resource);
-  if (it == locks_.end()) {
-    return Status::kNotFound;
-  }
-  LockState& state = it->second;
-  const auto h = std::find_if(
-      state.holders.begin(), state.holders.end(),
-      [holder](const LockRequest& r) { return r.holder == holder; });
-  if (h == state.holders.end()) {
-    return Status::kNotFound;
-  }
-  state.holders.erase(h);
+  LockShardTable::Shard& shard = table_.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
   // Promotion stays kernel policy (safety): FIFO while compatible.
-  while (!state.waiters.empty()) {
-    const LockRequest& next = state.waiters.front();
-    if (ConflictsWithHolders(state, next)) {
-      break;
-    }
-    state.holders.push_back(next);
-    state.waiters.pop_front();
-  }
-  if (state.holders.empty() && state.waiters.empty()) {
-    locks_.erase(it);
-  }
-  return Status::kOk;
+  return ReleaseLocked(shard.locks, resource, holder);
+}
+
+Status GraftedLockManager::CancelWait(LockResourceId resource,
+                                      LockHolderId holder) {
+  LockShardTable::Shard& shard = table_.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return CancelLocked(shard.locks, resource, holder);
 }
 
 bool GraftedLockManager::Holds(LockResourceId resource,
                                LockHolderId holder) const {
-  const auto it = locks_.find(resource);
-  if (it == locks_.end()) {
-    return false;
-  }
-  return std::any_of(it->second.holders.begin(), it->second.holders.end(),
-                     [holder](const LockRequest& h) { return h.holder == holder; });
+  const LockShardTable::Shard& shard = table_.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.locks.find(resource);
+  return it != shard.locks.end() && AlreadyHolds(it->second, holder);
 }
 
 size_t GraftedLockManager::WaiterCount(LockResourceId resource) const {
-  const auto it = locks_.find(resource);
-  return it == locks_.end() ? 0 : it->second.waiters.size();
+  const LockShardTable::Shard& shard = table_.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.locks.find(resource);
+  return it == shard.locks.end() ? 0 : it->second.waiters.size();
 }
 
 }  // namespace vino

@@ -19,16 +19,28 @@
 // grant point   -> returns nonzero to grant, zero to queue.
 // enqueue point -> returns the insertion index into the wait queue;
 //                  the kernel clamps out-of-range answers to append.
+//
+// Concurrency (PR 9): lock state is sharded by resource id, and a policy
+// graft is never consulted while a shard mutex is held — a graft can burn
+// fuel, take transaction locks, or abort, and none of that may stall every
+// other resource in the shard. Instead the requester snapshots the lock
+// state, consults the graft against the snapshot (consultations are
+// serialized by one mutex: both points marshal into the graft's single
+// arena), then revalidates under the shard mutex. The kernel re-checks
+// compatibility after a grant answer and re-runs FIFO promotion after a
+// queue answer, so a stale decision can cost a request its turn but can
+// neither grant a conflicting lock nor strand the wait queue.
 
 #ifndef VINOLITE_SRC_LOCKMGR_GRAFTED_LOCK_MANAGER_H_
 #define VINOLITE_SRC_LOCKMGR_GRAFTED_LOCK_MANAGER_H_
 
+#include <mutex>
 #include <string>
-#include <unordered_map>
 
 #include "src/graft/function_point.h"
 #include "src/graft/namespace.h"
 #include "src/lockmgr/lock_manager.h"
+#include "src/lockmgr/lock_table.h"
 #include "src/sfi/host.h"
 #include "src/txn/txn_manager.h"
 
@@ -52,6 +64,11 @@ class GraftedLockManager {
   Status GetLock(LockResourceId resource, LockHolderId holder, LockMode mode);
   Status ReleaseLock(LockResourceId resource, LockHolderId holder);
 
+  // Same contract as SimpleLockManager::CancelWait: atomically withdraw a
+  // queued request (or release it, if the grant raced in), re-promoting the
+  // queue either way.
+  Status CancelWait(LockResourceId resource, LockHolderId holder);
+
   [[nodiscard]] bool Holds(LockResourceId resource, LockHolderId holder) const;
   [[nodiscard]] size_t WaiterCount(LockResourceId resource) const;
 
@@ -64,12 +81,17 @@ class GraftedLockManager {
   // and as the fallback the points revert to after an abort.
   static uint64_t DefaultGrant(const LockState& state, const LockRequest& request);
 
+  // Callers hold consult_mutex_, never the shard mutex.
   uint64_t ConsultGrant(const LockState& state, const LockRequest& request);
   uint64_t ConsultEnqueue(const LockState& state, const LockRequest& request);
 
-  std::unordered_map<LockResourceId, LockState> locks_;
+  lockdetail::LockShardTable table_;
+
+  // Serializes policy consultations: both points share the installed
+  // graft's single arena, and the default closures read deciding_state_.
+  std::mutex consult_mutex_;
   // Stashes the state under decision so the points' default closures can
-  // reach it without re-marshalling.
+  // reach it without re-marshalling. Guarded by consult_mutex_.
   const LockState* deciding_state_ = nullptr;
   const LockRequest* deciding_request_ = nullptr;
 

@@ -2,69 +2,48 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <mutex>
 
 #include "src/base/trace.h"
 
 namespace vino {
+
+using lockdetail::AlreadyHolds;
+using lockdetail::CancelLocked;
+using lockdetail::ConflictsWithHolders;
+using lockdetail::LockShardTable;
+using lockdetail::PromoteWaiters;
+using lockdetail::ReleaseLocked;
+
 namespace {
 
-bool ConflictsWithHolders(const LockState& state, const LockRequest& request) {
-  for (const LockRequest& h : state.holders) {
-    if (h.holder != request.holder && !Compatible(h.mode, request.mode)) {
-      return true;
-    }
-  }
-  return false;
+Status ReleaseSharded(LockShardTable& table, LockResourceId resource,
+                      LockHolderId holder) {
+  LockShardTable::Shard& shard = table.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return ReleaseLocked(shard.locks, resource, holder);
 }
 
-bool AlreadyHolds(const LockState& state, LockHolderId holder) {
-  return std::any_of(state.holders.begin(), state.holders.end(),
-                     [holder](const LockRequest& h) { return h.holder == holder; });
+Status CancelSharded(LockShardTable& table, LockResourceId resource,
+                     LockHolderId holder) {
+  LockShardTable::Shard& shard = table.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return CancelLocked(shard.locks, resource, holder);
 }
 
-// Shared release/promotion logic. After removing a holder, grants waiters
-// in queue order while they remain compatible with the holder set.
-void PromoteWaiters(LockState& state) {
-  while (!state.waiters.empty()) {
-    const LockRequest& next = state.waiters.front();
-    if (ConflictsWithHolders(state, next)) {
-      return;
-    }
-    state.holders.push_back(next);
-    state.waiters.pop_front();
-  }
+bool HoldsSharded(const LockShardTable& table, LockResourceId resource,
+                  LockHolderId holder) {
+  const LockShardTable::Shard& shard = table.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.locks.find(resource);
+  return it != shard.locks.end() && AlreadyHolds(it->second, holder);
 }
 
-Status ReleaseFrom(std::unordered_map<LockResourceId, LockState>& locks,
-                   LockResourceId resource, LockHolderId holder) {
-  const auto it = locks.find(resource);
-  if (it == locks.end()) {
-    return Status::kNotFound;
-  }
-  LockState& state = it->second;
-  const auto h = std::find_if(state.holders.begin(), state.holders.end(),
-                              [holder](const LockRequest& r) { return r.holder == holder; });
-  if (h == state.holders.end()) {
-    return Status::kNotFound;
-  }
-  state.holders.erase(h);
-  PromoteWaiters(state);
-  if (state.holders.empty() && state.waiters.empty()) {
-    locks.erase(it);
-  }
-  return Status::kOk;
-}
-
-bool HoldsIn(const std::unordered_map<LockResourceId, LockState>& locks,
-             LockResourceId resource, LockHolderId holder) {
-  const auto it = locks.find(resource);
-  return it != locks.end() && AlreadyHolds(it->second, holder);
-}
-
-size_t WaitersIn(const std::unordered_map<LockResourceId, LockState>& locks,
-                 LockResourceId resource) {
-  const auto it = locks.find(resource);
-  return it == locks.end() ? 0 : it->second.waiters.size();
+size_t WaitersSharded(const LockShardTable& table, LockResourceId resource) {
+  const LockShardTable::Shard& shard = table.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.locks.find(resource);
+  return it == shard.locks.end() ? 0 : it->second.waiters.size();
 }
 
 }  // namespace
@@ -73,7 +52,9 @@ size_t WaitersIn(const std::unordered_map<LockResourceId, LockState>& locks,
 
 Status SimpleLockManager::GetLock(LockResourceId resource, LockHolderId holder,
                                   LockMode mode) {
-  LockState& state = locks_[resource];
+  LockShardTable::Shard& shard = table_.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  LockState& state = shard.locks[resource];
   if (AlreadyHolds(state, holder)) {
     return Status::kAlreadyExists;
   }
@@ -93,16 +74,23 @@ Status SimpleLockManager::GetLock(LockResourceId resource, LockHolderId holder,
   return Status::kBusy;
 }
 
-Status SimpleLockManager::ReleaseLock(LockResourceId resource, LockHolderId holder) {
-  return ReleaseFrom(locks_, resource, holder);
+Status SimpleLockManager::ReleaseLock(LockResourceId resource,
+                                      LockHolderId holder) {
+  return ReleaseSharded(table_, resource, holder);
 }
 
-bool SimpleLockManager::Holds(LockResourceId resource, LockHolderId holder) const {
-  return HoldsIn(locks_, resource, holder);
+Status SimpleLockManager::CancelWait(LockResourceId resource,
+                                     LockHolderId holder) {
+  return CancelSharded(table_, resource, holder);
+}
+
+bool SimpleLockManager::Holds(LockResourceId resource,
+                              LockHolderId holder) const {
+  return HoldsSharded(table_, resource, holder);
 }
 
 size_t SimpleLockManager::WaiterCount(LockResourceId resource) const {
-  return WaitersIn(locks_, resource);
+  return WaitersSharded(table_, resource);
 }
 
 // --- Figure 5 -------------------------------------------------------------
@@ -138,7 +126,9 @@ void PolicyLockManager::SetQueuePolicy(QueuePolicy policy) {
 
 Status PolicyLockManager::GetLock(LockResourceId resource, LockHolderId holder,
                                   LockMode mode) {
-  LockState& state = locks_[resource];
+  LockShardTable::Shard& shard = table_.ShardFor(resource);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  LockState& state = shard.locks[resource];
   if (AlreadyHolds(state, holder)) {
     return Status::kAlreadyExists;
   }
@@ -159,19 +149,35 @@ Status PolicyLockManager::GetLock(LockResourceId resource, LockHolderId holder,
                        request);
   VINO_TRACE(trace::Event::kLockContend, static_cast<uint16_t>(mode),
              static_cast<uint32_t>(state.waiters.size()), resource, holder);
+  // A policy may deny a request on an idle lock, but promotion only runs on
+  // release and nobody releases an idle lock — promote now so the queue
+  // cannot strand (kernel liveness outranks policy).
+  if (state.holders.empty()) {
+    PromoteWaiters(state);
+    if (AlreadyHolds(state, holder)) {
+      return Status::kOk;
+    }
+  }
   return Status::kBusy;
 }
 
-Status PolicyLockManager::ReleaseLock(LockResourceId resource, LockHolderId holder) {
-  return ReleaseFrom(locks_, resource, holder);
+Status PolicyLockManager::ReleaseLock(LockResourceId resource,
+                                      LockHolderId holder) {
+  return ReleaseSharded(table_, resource, holder);
 }
 
-bool PolicyLockManager::Holds(LockResourceId resource, LockHolderId holder) const {
-  return HoldsIn(locks_, resource, holder);
+Status PolicyLockManager::CancelWait(LockResourceId resource,
+                                     LockHolderId holder) {
+  return CancelSharded(table_, resource, holder);
+}
+
+bool PolicyLockManager::Holds(LockResourceId resource,
+                              LockHolderId holder) const {
+  return HoldsSharded(table_, resource, holder);
 }
 
 size_t PolicyLockManager::WaiterCount(LockResourceId resource) const {
-  return WaitersIn(locks_, resource);
+  return WaitersSharded(table_, resource);
 }
 
 bool PolicyLockManager::FairGrantPolicy(const LockState& state,

@@ -9,39 +9,24 @@
 // level of indirection at each decision point. On our system, function
 // calls typically cost approximately 35 cycles; these add up remarkably
 // quickly." bench_lockmgr prices exactly that difference.
+//
+// Both managers are thread-safe and shard their lock state by resource id
+// (lock_table.h): two requests contend on a mutex only when their resources
+// hash to the same shard. There is no blocking wait inside the manager —
+// a queued requester polls Holds() and, on timeout, withdraws atomically
+// with CancelWait() so its abandoned queue slot cannot strand later grants.
 
 #ifndef VINOLITE_SRC_LOCKMGR_LOCK_MANAGER_H_
 #define VINOLITE_SRC_LOCKMGR_LOCK_MANAGER_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
-#include <vector>
 
 #include "src/base/status.h"
+#include "src/lockmgr/lock_manager_types.h"
+#include "src/lockmgr/lock_table.h"
 
 namespace vino {
-
-enum class LockMode : uint8_t { kShared, kExclusive };
-
-using LockHolderId = uint64_t;
-using LockResourceId = uint64_t;
-
-struct LockRequest {
-  LockHolderId holder = 0;
-  LockMode mode = LockMode::kShared;
-};
-
-struct LockState {
-  std::vector<LockRequest> holders;
-  std::deque<LockRequest> waiters;
-};
-
-// True iff `a` and `b` can hold the lock simultaneously.
-[[nodiscard]] constexpr bool Compatible(LockMode a, LockMode b) {
-  return a == LockMode::kShared && b == LockMode::kShared;
-}
 
 // --- Figure 4: hard-coded policies --------------------------------------
 
@@ -55,11 +40,19 @@ class SimpleLockManager {
   // holder does not hold the resource.
   Status ReleaseLock(LockResourceId resource, LockHolderId holder);
 
+  // Withdraws a request that did not get the lock in time. Atomically, in
+  // one shard critical section: if the holder is still queued the entry is
+  // removed; if the grant raced the timeout and the holder already owns the
+  // lock, the grant is released. Either way the queue is re-promoted — a
+  // timed-out waiter at the front must not keep stranding compatible
+  // requests behind it. kNotFound if the holder neither waits nor holds.
+  Status CancelWait(LockResourceId resource, LockHolderId holder);
+
   [[nodiscard]] bool Holds(LockResourceId resource, LockHolderId holder) const;
   [[nodiscard]] size_t WaiterCount(LockResourceId resource) const;
 
  private:
-  std::unordered_map<LockResourceId, LockState> locks_;
+  lockdetail::LockShardTable table_;
 };
 
 // --- Figure 5: policy-indirected -----------------------------------------
@@ -79,12 +72,17 @@ class PolicyLockManager {
   PolicyLockManager();
 
   // Policy replacement — the "graft" of this subsystem. Null restores the
-  // default.
+  // default. Policies run under the resource's shard mutex, so they must be
+  // quick and must not call back into the manager. Replacing a policy while
+  // requests are in flight is not supported (set policies at setup time).
   void SetGrantPolicy(GrantPolicy policy);
   void SetQueuePolicy(QueuePolicy policy);
 
   Status GetLock(LockResourceId resource, LockHolderId holder, LockMode mode);
   Status ReleaseLock(LockResourceId resource, LockHolderId holder);
+
+  // Same contract as SimpleLockManager::CancelWait.
+  Status CancelWait(LockResourceId resource, LockHolderId holder);
 
   [[nodiscard]] bool Holds(LockResourceId resource, LockHolderId holder) const;
   [[nodiscard]] size_t WaiterCount(LockResourceId resource) const;
@@ -98,7 +96,7 @@ class PolicyLockManager {
  private:
   GrantPolicy grant_policy_;
   QueuePolicy queue_policy_;
-  std::unordered_map<LockResourceId, LockState> locks_;
+  lockdetail::LockShardTable table_;
 };
 
 }  // namespace vino

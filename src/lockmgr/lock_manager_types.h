@@ -1,0 +1,37 @@
+// Core lock-manager vocabulary shared by the managers (lock_manager.h,
+// grafted_lock_manager.h) and their sharded table internals (lock_table.h).
+
+#ifndef VINOLITE_SRC_LOCKMGR_LOCK_MANAGER_TYPES_H_
+#define VINOLITE_SRC_LOCKMGR_LOCK_MANAGER_TYPES_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace vino {
+
+enum class LockMode : uint8_t { kShared, kExclusive };
+
+using LockHolderId = uint64_t;
+using LockResourceId = uint64_t;
+
+struct LockRequest {
+  LockHolderId holder = 0;
+  LockMode mode = LockMode::kShared;
+};
+
+struct LockState {
+  std::vector<LockRequest> holders;
+  std::deque<LockRequest> waiters;
+};
+
+// True iff `a` and `b` can hold the lock simultaneously.
+[[nodiscard]] constexpr bool Compatible(LockMode a, LockMode b) {
+  return a == LockMode::kShared && b == LockMode::kShared;
+}
+
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_LOCKMGR_LOCK_MANAGER_TYPES_H_

@@ -1,0 +1,139 @@
+// Shared internals of the lock managers: the holder/waiter compatibility
+// helpers and the sharded lock table all three managers (Figure 4, Figure 5,
+// grafted) hang their state off.
+//
+// PR 9's serving bench showed the single map-plus-mutex design collapsing
+// under multi-installer load: every GetLock on every resource serialized on
+// one cache line. The table is now sharded by resource id — two requests
+// touch the same mutex only if their resources hash to the same shard, and
+// a shard's mutex is held only for the map operation itself (the grafted
+// manager consults its policy grafts *outside* the shard lock).
+
+#ifndef VINOLITE_SRC_LOCKMGR_LOCK_TABLE_H_
+#define VINOLITE_SRC_LOCKMGR_LOCK_TABLE_H_
+
+#include <algorithm>
+#include <array>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/base/hash.h"
+#include "src/lockmgr/lock_manager_types.h"
+
+namespace vino {
+namespace lockdetail {
+
+[[nodiscard]] inline bool ConflictsWithHolders(const LockState& state,
+                                               const LockRequest& request) {
+  return std::any_of(state.holders.begin(), state.holders.end(),
+                     [&request](const LockRequest& h) {
+                       return h.holder != request.holder &&
+                              !Compatible(h.mode, request.mode);
+                     });
+}
+
+[[nodiscard]] inline bool AlreadyHolds(const LockState& state,
+                                       LockHolderId holder) {
+  return std::any_of(
+      state.holders.begin(), state.holders.end(),
+      [holder](const LockRequest& h) { return h.holder == holder; });
+}
+
+// Shared release/promotion logic. After any holder or waiter leaves, grants
+// waiters in queue order while they remain compatible with the holder set.
+// Promotion is kernel policy, not graft policy: it is what guarantees a
+// drained lock never strands its queue.
+inline void PromoteWaiters(LockState& state) {
+  while (!state.waiters.empty()) {
+    const LockRequest& next = state.waiters.front();
+    if (ConflictsWithHolders(state, next)) {
+      return;
+    }
+    state.holders.push_back(next);
+    state.waiters.pop_front();
+  }
+}
+
+// The sharded resource->LockState table. Resource ids are commonly small
+// and sequential, so they go through the splitmix64 finalizer before the
+// shard mask (same reasoning as ShardedCounters).
+struct LockShardTable {
+  static constexpr size_t kShardCount = 16;  // Power of two.
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<LockResourceId, LockState> locks;
+  };
+
+  [[nodiscard]] Shard& ShardFor(LockResourceId resource) {
+    return shards[MixU64(resource) & (kShardCount - 1)];
+  }
+  [[nodiscard]] const Shard& ShardFor(LockResourceId resource) const {
+    return shards[MixU64(resource) & (kShardCount - 1)];
+  }
+
+  std::array<Shard, kShardCount> shards;
+};
+
+// Releases `holder`'s grant on the resource, promoting waiters and erasing
+// the map entry once empty. kNotFound if the holder does not hold (a queued
+// but ungranted request is not a held lock and is left untouched — withdraw
+// it with CancelLocked instead).
+inline Status ReleaseLocked(std::unordered_map<LockResourceId, LockState>& locks,
+                            LockResourceId resource, LockHolderId holder) {
+  const auto it = locks.find(resource);
+  if (it == locks.end()) {
+    return Status::kNotFound;
+  }
+  LockState& state = it->second;
+  const auto h = std::find_if(
+      state.holders.begin(), state.holders.end(),
+      [holder](const LockRequest& r) { return r.holder == holder; });
+  if (h == state.holders.end()) {
+    return Status::kNotFound;
+  }
+  state.holders.erase(h);
+  PromoteWaiters(state);
+  if (state.holders.empty() && state.waiters.empty()) {
+    locks.erase(it);
+  }
+  return Status::kOk;
+}
+
+// Withdraws `holder`'s request: removes it from the wait queue, or — if the
+// grant raced the withdrawal and the holder already owns the lock — releases
+// the grant. Either way the queue is re-promoted: a withdrawn waiter at the
+// front must not keep blocking compatible requests behind it. kNotFound if
+// the holder neither waits nor holds.
+inline Status CancelLocked(std::unordered_map<LockResourceId, LockState>& locks,
+                           LockResourceId resource, LockHolderId holder) {
+  const auto it = locks.find(resource);
+  if (it == locks.end()) {
+    return Status::kNotFound;
+  }
+  LockState& state = it->second;
+  const auto w = std::find_if(
+      state.waiters.begin(), state.waiters.end(),
+      [holder](const LockRequest& r) { return r.holder == holder; });
+  if (w != state.waiters.end()) {
+    state.waiters.erase(w);
+  } else {
+    const auto h = std::find_if(
+        state.holders.begin(), state.holders.end(),
+        [holder](const LockRequest& r) { return r.holder == holder; });
+    if (h == state.holders.end()) {
+      return Status::kNotFound;
+    }
+    state.holders.erase(h);
+  }
+  PromoteWaiters(state);
+  if (state.holders.empty() && state.waiters.empty()) {
+    locks.erase(it);
+  }
+  return Status::kOk;
+}
+
+}  // namespace lockdetail
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_LOCKMGR_LOCK_TABLE_H_

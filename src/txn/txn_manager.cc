@@ -9,11 +9,6 @@
 namespace vino {
 namespace {
 
-// Slab depth bound: deeper nesting than this falls back to new/delete. The
-// cap exists only so a burst of deep nesting cannot park an unbounded pile
-// of warmed vectors on every thread forever.
-constexpr uint32_t kMaxSlabSize = 32;
-
 // Loads the thread's posted abort request and decides whether it applies to
 // the transaction chain rooted at `innermost`. A live request — wildcard
 // (target 0) or aimed at a transaction still in the chain — is returned as
@@ -56,6 +51,7 @@ Transaction* TxnManager::SlabPop(KernelContext& ctx) {
 
 void TxnManager::SlabPush(KernelContext& ctx, Transaction* txn) {
   if (ctx.txn_slab_size >= kMaxSlabSize) {
+    counters_.Add(kSlabOverflows);
     delete txn;
     return;
   }
@@ -91,6 +87,9 @@ Transaction* TxnManager::Begin(KernelContext& ctx) {
   if (txn != nullptr) {
     txn->Reset(id, ctx.txn);
   } else {
+    // Heap fallback: nesting deeper than the slab cap (or a cold thread)
+    // degrades to new/delete, never to a refused begin.
+    counters_.Add(kSlabMisses);
     txn = new Transaction(id, ctx.txn);
   }
   ctx.txn = txn;
@@ -252,6 +251,8 @@ TxnStats TxnManager::stats() const {
   s.aborts = counters_.Read(kAborts);
   s.timeout_aborts = counters_.Read(kTimeoutAborts);
   s.nested_begins = counters_.Read(kNestedBegins);
+  s.slab_misses = counters_.Read(kSlabMisses);
+  s.slab_overflows = counters_.Read(kSlabOverflows);
   return s;
 }
 

@@ -26,10 +26,23 @@ struct TxnStats {
   uint64_t aborts = 0;
   uint64_t timeout_aborts = 0;
   uint64_t nested_begins = 0;
+  // Begins the per-thread slab could not serve (heap fallback). The first
+  // kMaxSlabSize begins on every thread are unavoidable cold misses; a
+  // steady-state miss rate above that means nesting deeper than the cap.
+  uint64_t slab_misses = 0;
+  // Finished transactions deleted instead of parked because the slab was
+  // already at its depth cap (the tail end of a >cap nesting burst).
+  uint64_t slab_overflows = 0;
 };
 
 class TxnManager {
  public:
+  // Slab depth bound: deeper nesting than this falls back to new/delete (and
+  // counts as a slab miss / overflow in TxnStats). The cap exists only so a
+  // burst of deep nesting cannot park an unbounded pile of warmed vectors on
+  // every thread forever.
+  static constexpr uint32_t kMaxSlabSize = 32;
+
   TxnManager() = default;
   TxnManager(const TxnManager&) = delete;
   TxnManager& operator=(const TxnManager&) = delete;
@@ -109,7 +122,7 @@ class TxnManager {
   // deleted; Begin() pops from it. A recycled object keeps its vectors'
   // capacity, so steady-state begin/commit performs zero heap allocations.
   static Transaction* SlabPop(KernelContext& ctx);
-  static void SlabPush(KernelContext& ctx, Transaction* txn);
+  void SlabPush(KernelContext& ctx, Transaction* txn);
   static void SlabDrop(Transaction* head);  // KernelContext's exit deleter.
 
   std::atomic<uint64_t> next_id_{1};
@@ -120,8 +133,10 @@ class TxnManager {
     kAborts,
     kTimeoutAborts,
     kNestedBegins,
+    kSlabMisses,
+    kSlabOverflows,
   };
-  ShardedCounters<5> counters_;
+  ShardedCounters<7> counters_;
 
   // Flight-recorder data; written only when trace::Enabled() (the disabled
   // hot path never reads the clock or touches these lines).

@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "src/graft/namespace.h"
 #include "src/lockmgr/grafted_lock_manager.h"
 #include "src/sfi/assembler.h"
@@ -140,6 +145,72 @@ TEST_F(GraftedLockMgrTest, MisbehavingPolicyGraftFallsBackToDefault) {
   ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
   EXPECT_FALSE(mgr_.grant_point().grafted());
   EXPECT_GE(txn_.stats().aborts, 1u);
+}
+
+TEST_F(GraftedLockMgrTest, DenyOnIdleLockCannotStrandTheQueue) {
+  // An always-deny grant graft queues every request. On an idle lock there
+  // is no future release to promote the queue, so GetLock itself must run
+  // kernel promotion — otherwise the request waits forever.
+  Asm a("always-no");
+  a.LoadImm(R0, 0).Halt();
+  ASSERT_EQ(mgr_.grant_point().Replace(Load(a)), Status::kOk);
+  EXPECT_EQ(mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  EXPECT_TRUE(mgr_.Holds(1, 100));
+  EXPECT_EQ(mgr_.WaiterCount(1), 0u);
+}
+
+TEST_F(GraftedLockMgrTest, CancelWaitWithdrawsAndPromotes) {
+  ASSERT_EQ(mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(mgr_.GetLock(1, 201, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(mgr_.ReleaseLock(1, 100), Status::kOk);
+  ASSERT_TRUE(mgr_.Holds(1, 200));
+  // 200 times out and withdraws; 201 must be promoted, not stranded.
+  ASSERT_EQ(mgr_.CancelWait(1, 200), Status::kOk);
+  EXPECT_TRUE(mgr_.Holds(1, 201));
+  EXPECT_EQ(mgr_.WaiterCount(1), 0u);
+}
+
+TEST_F(GraftedLockMgrTest, ConcurrentRequestsWithGrantGraftStayConsistent) {
+  // The snapshot-consult path under real concurrency: every decision runs
+  // the fair-grant graft (serialized on the consult mutex) while the shard
+  // state keeps moving. Exclusive grants must never overlap, and the table
+  // must drain completely.
+  ASSERT_EQ(mgr_.grant_point().Replace(FairGrantGraft()), Status::kOk);
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 200;
+  std::array<std::atomic<int>, 4> exclusive_holders{};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, t, &exclusive_holders] {
+      const LockHolderId holder = 1000 + static_cast<LockHolderId>(t);
+      for (int i = 0; i < kIterations; ++i) {
+        const LockResourceId resource = static_cast<LockResourceId>(i % 4);
+        const Status got = mgr_.GetLock(resource, holder, LockMode::kExclusive);
+        bool granted = got == Status::kOk;
+        if (got == Status::kBusy) {
+          for (int spin = 0; spin < 50 && !granted; ++spin) {
+            granted = mgr_.Holds(resource, holder);
+          }
+          if (!granted) {
+            ASSERT_EQ(mgr_.CancelWait(resource, holder), Status::kOk);
+            continue;
+          }
+        }
+        // Exclusive grants on one resource must never overlap.
+        ASSERT_EQ(exclusive_holders[resource].fetch_add(1), 0);
+        exclusive_holders[resource].fetch_sub(1);
+        ASSERT_EQ(mgr_.ReleaseLock(resource, holder), Status::kOk);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  for (LockResourceId r = 0; r < 4; ++r) {
+    EXPECT_EQ(mgr_.WaiterCount(r), 0u) << r;
+  }
 }
 
 TEST_F(GraftedLockMgrTest, GraftSeesMarshalledState) {

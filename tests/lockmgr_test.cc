@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "src/lockmgr/lock_manager.h"
 
 namespace vino {
@@ -129,6 +132,116 @@ TEST(PolicyTest, NullRestoresDefault) {
   ASSERT_EQ(mgr.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
   // Default (reader priority) again: barging allowed.
   EXPECT_EQ(mgr.GetLock(1, 101, LockMode::kShared), Status::kOk);
+}
+
+// --- CancelWait: a timed-out waiter must not strand later grants ---------
+
+TYPED_TEST(LockManagerTest, CancelWaitRemovesQueuedRequest) {
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  ASSERT_EQ(this->mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  EXPECT_EQ(this->mgr_.CancelWait(1, 200), Status::kOk);
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 0u);
+  EXPECT_FALSE(this->mgr_.Holds(1, 200));
+}
+
+TYPED_TEST(LockManagerTest, CancelledFrontWaiterUnblocksThoseBehindIt) {
+  // The PR-9 anomaly: promotion is FIFO and stops at the first conflict, so
+  // an abandoned exclusive waiter at the front of the queue used to strand
+  // every compatible waiter behind it forever.
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  ASSERT_EQ(this->mgr_.GetLock(1, 200, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(this->mgr_.GetLock(1, 201, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(this->mgr_.ReleaseLock(1, 100), Status::kOk);
+  // 200 promoted; 201 waits behind it.
+  ASSERT_TRUE(this->mgr_.Holds(1, 200));
+  ASSERT_FALSE(this->mgr_.Holds(1, 201));
+  // 200's requester times out and withdraws — CancelWait doubles as the
+  // atomic "release if the grant raced in" path, and must promote 201.
+  EXPECT_EQ(this->mgr_.CancelWait(1, 200), Status::kOk);
+  EXPECT_TRUE(this->mgr_.Holds(1, 201));
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 0u);
+}
+
+TYPED_TEST(LockManagerTest, CancelledMidQueueWaiterPromotesCompatibleRun) {
+  // holders=[excl 100], waiters=[shared 200, excl 300, shared 201]: when
+  // 300 gives up, nothing promotes yet (100 still holds); when 100 then
+  // releases, the whole shared run is granted together.
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  ASSERT_EQ(this->mgr_.GetLock(1, 200, LockMode::kShared), Status::kBusy);
+  ASSERT_EQ(this->mgr_.GetLock(1, 300, LockMode::kExclusive), Status::kBusy);
+  ASSERT_EQ(this->mgr_.GetLock(1, 201, LockMode::kShared), Status::kBusy);
+  ASSERT_EQ(this->mgr_.CancelWait(1, 300), Status::kOk);
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 2u);
+  ASSERT_EQ(this->mgr_.ReleaseLock(1, 100), Status::kOk);
+  EXPECT_TRUE(this->mgr_.Holds(1, 200));
+  EXPECT_TRUE(this->mgr_.Holds(1, 201));
+  EXPECT_EQ(this->mgr_.WaiterCount(1), 0u);
+}
+
+TYPED_TEST(LockManagerTest, CancelWaitOfUnknownHolderFails) {
+  EXPECT_EQ(this->mgr_.CancelWait(1, 100), Status::kNotFound);
+  ASSERT_EQ(this->mgr_.GetLock(1, 100, LockMode::kShared), Status::kOk);
+  EXPECT_EQ(this->mgr_.CancelWait(1, 999), Status::kNotFound);
+}
+
+TEST(PolicyTest, DenyOnIdleLockCannotStrandTheQueue) {
+  // A pathological policy denies everything. With no holders there is no
+  // future release to promote the queue, so GetLock itself must promote —
+  // kernel liveness outranks policy.
+  PolicyLockManager mgr;
+  mgr.SetGrantPolicy([](const LockState&, const LockRequest&) { return false; });
+  EXPECT_EQ(mgr.GetLock(1, 100, LockMode::kExclusive), Status::kOk);
+  EXPECT_TRUE(mgr.Holds(1, 100));
+}
+
+// --- Sharded table under concurrency -------------------------------------
+
+TEST(ShardedLockTest, ConcurrentDisjointResourcesStayConsistent) {
+  SimpleLockManager mgr;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mgr, t] {
+      const LockHolderId holder = 1000 + static_cast<LockHolderId>(t);
+      for (int i = 0; i < kIterations; ++i) {
+        const LockResourceId resource =
+            static_cast<LockResourceId>((t * kIterations + i) % 64);
+        const LockMode mode =
+            (i % 3 == 0) ? LockMode::kExclusive : LockMode::kShared;
+        const Status got = mgr.GetLock(resource, holder, mode);
+        if (got == Status::kOk) {
+          ASSERT_TRUE(mgr.Holds(resource, holder));
+          ASSERT_EQ(mgr.ReleaseLock(resource, holder), Status::kOk);
+        } else {
+          ASSERT_EQ(got, Status::kBusy);
+          // Poll briefly, then withdraw like a timed-out TxnLock waiter.
+          bool granted = false;
+          for (int spin = 0; spin < 100 && !granted; ++spin) {
+            granted = mgr.Holds(resource, holder);
+          }
+          if (granted) {
+            ASSERT_EQ(mgr.ReleaseLock(resource, holder), Status::kOk);
+          } else {
+            // Queued, so we are in waiters or (if the promotion raced the
+            // poll) in holders; CancelWait handles both atomically.
+            ASSERT_EQ(mgr.CancelWait(resource, holder), Status::kOk);
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  // Quiesced: every resource drained — no holders, no stranded waiters.
+  for (LockResourceId r = 0; r < 64; ++r) {
+    EXPECT_EQ(mgr.WaiterCount(r), 0u) << r;
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_FALSE(mgr.Holds(r, 1000 + static_cast<LockHolderId>(t)));
+    }
+  }
 }
 
 }  // namespace

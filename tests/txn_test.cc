@@ -403,5 +403,57 @@ TEST_F(TxnTest, RecyclingSurvivesDeepNestingBeyondSlabCap) {
   ASSERT_EQ(manager_.Commit(txn), Status::kOk);
 }
 
+TEST_F(TxnTest, SlabMissAndOverflowCountsSurfaceInStats) {
+  // The thread's slab holds at most kMaxSlabSize parked transactions (and
+  // may start warm from earlier tests on this thread), so a 2x-cap-deep
+  // nest must miss at least kMaxSlabSize times on the way down and overflow
+  // at least kMaxSlabSize times on the way back up.
+  constexpr int kDepth = static_cast<int>(TxnManager::kMaxSlabSize) * 2;
+  std::vector<Transaction*> txns;
+  for (int i = 0; i < kDepth; ++i) {
+    txns.push_back(manager_.Begin());
+  }
+  for (int i = kDepth - 1; i >= 0; --i) {
+    ASSERT_EQ(manager_.Commit(txns[static_cast<size_t>(i)]), Status::kOk);
+  }
+  TxnStats s = manager_.stats();
+  EXPECT_GE(s.slab_misses, TxnManager::kMaxSlabSize);
+  EXPECT_GE(s.slab_overflows, TxnManager::kMaxSlabSize);
+  EXPECT_LE(s.slab_misses, static_cast<uint64_t>(kDepth));
+  EXPECT_LE(s.slab_overflows, static_cast<uint64_t>(kDepth));
+
+  // A shallow begin/commit cycle afterwards is served from the (now full)
+  // slab: no new misses, no new overflows below the cap.
+  const uint64_t misses_before = s.slab_misses;
+  Transaction* txn = manager_.Begin();
+  ASSERT_EQ(manager_.Commit(txn), Status::kOk);
+  EXPECT_EQ(manager_.stats().slab_misses, misses_before);
+}
+
+TEST_F(TxnTest, DeepNestingBeyondSlabCapUndoesCorrectly) {
+  // >cap nesting must degrade to heap fallback, not corruption or silent
+  // abort: every level's write is tracked, a mid-chain abort undoes exactly
+  // the merged-in suffix, and the survivors commit clean.
+  constexpr int kDepth = static_cast<int>(TxnManager::kMaxSlabSize) + 16;
+  constexpr int kAbortAt = static_cast<int>(TxnManager::kMaxSlabSize) + 4;
+  std::vector<uint64_t> state(kDepth, 0);
+  std::vector<Transaction*> txns;
+  for (int i = 0; i < kDepth; ++i) {
+    txns.push_back(manager_.Begin());
+    TxnSet(&state[static_cast<size_t>(i)], uint64_t{1});
+  }
+  EXPECT_EQ(txns.back()->depth(), kDepth - 1);
+  for (int i = kDepth - 1; i > kAbortAt; --i) {
+    ASSERT_EQ(manager_.Commit(txns[static_cast<size_t>(i)]), Status::kOk);
+  }
+  manager_.Abort(txns[kAbortAt], Status::kTxnAborted);
+  for (int i = kAbortAt - 1; i >= 0; --i) {
+    ASSERT_EQ(manager_.Commit(txns[static_cast<size_t>(i)]), Status::kOk);
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    EXPECT_EQ(state[static_cast<size_t>(i)], i < kAbortAt ? 1u : 0u) << i;
+  }
+}
+
 }  // namespace
 }  // namespace vino

@@ -18,23 +18,32 @@
 #      rings into one VINO_SPOOL directory and `graftstat --fleet --json
 #      --once` must multiplex all of them (tools/fleet_smoke.py), repeated
 #      under the flake guard since it exercises real process interleaving,
-#   6. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
+#   6. multi-tenant serving smoke: serve_bench --smoke (200-installer
+#      scenario scaled down, hostile mix included) with the spool attached;
+#      its survival invariants — every hostile graft ejected, zero lost
+#      events, lock table drained, billing balanced, kernel still serving —
+#      hard-fail the gate, and the produced spool must replay cleanly
+#      through graftstat --spool,
+#   7. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
 #      races (Drain vs DispatchAsync, pool lifecycle, txn locks, ring
 #      snapshot-during-write, concurrent Tier-1 dispatch over one shared
-#      compiled artifact) fail CI instead of shipping; the tier-differential
-#      tests then re-run forced to each execution tier,
-#   7. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
+#      compiled artifact, lock-table sharding, namespace install/invoke/
+#      remove churn, the serving smoke itself) fail CI instead of shipping;
+#      the tier-differential tests then re-run forced to each execution
+#      tier,
+#   8. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
 #      whose global operator-new counter conflicts with ASan's allocator
 #      interposition), so heap misuse and undefined behaviour in the Vm /
 #      packing / undo-replay paths fail CI too.
 #
 # Usage: tools/check.sh [--fast] [--bench]
 #   --fast   skip the sanitizer stages (normal build + tests + flake guard).
-#   --bench  also run the wrapper/txn micro-benchmarks and diff them against
-#            the committed BENCH_PR2.json snapshot (warn-only: shared CI
-#            boxes are too noisy for a hard perf gate; read the table —
-#            unless VINO_QUIET_RUNNER=1 marks the box as quiet enough to
-#            make a statistically significant regression a hard failure).
+#   --bench  also run the micro-benchmarks and the serving smoke and diff
+#            them against the committed BENCH_PR2/PR7/PR9 json snapshots
+#            (warn-only: shared CI boxes are too noisy for a hard perf
+#            gate; read the table — unless VINO_QUIET_RUNNER=1 marks the
+#            box as quiet enough to make a statistically significant
+#            regression a hard failure).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,7 +59,7 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/7] build + full test suite (both execution tiers) =="
+echo "== [1/8] build + full test suite (both execution tiers) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 # The loader's tier selection honours VINO_EXEC_TIER (unset defaults to the
@@ -59,7 +68,7 @@ cmake --build build -j "$JOBS"
 VINO_EXEC_TIER=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 VINO_EXEC_TIER=0 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/7] offline verifier audit: vverify over example grafts + zoo =="
+echo "== [2/8] offline verifier audit: vverify over example grafts + zoo =="
 AUDIT_DIR="$PWD/build/graft-audit"
 rm -rf "$AUDIT_DIR" && mkdir -p "$AUDIT_DIR"
 for src in examples/grafts/*.vasm; do
@@ -81,11 +90,11 @@ grep -q 'Forged toolchain' "$AUDIT_DIR/zoo.out" || {
   echo "zoo output missing the forged-toolchain section" >&2; exit 1; }
 echo "verifier audit: ok (offline vverify and in-kernel loader agree)"
 
-echo "== [3/7] flaky-dispatch guard: robustness_test x20 =="
+echo "== [3/8] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
 
-echo "== [4/7] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
+echo "== [4/8] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
 # VINO_SPOOL makes every VinoKernel constructed by the suite spool its
 # flight recorder to a per-kernel file; every spool produced must then
 # parse cleanly with graftstat --spool (exit 0 tolerates truncated tails,
@@ -127,13 +136,26 @@ print(f"graftstat --json smoke: ok ({aborts} aborts, {records} records, "
       f"{len(tiered)} tiered graft(s))")
 '
 
-echo "== [5/7] fleet observability: multi-kernel spool dir + --fleet attach =="
+echo "== [5/8] fleet observability: multi-kernel spool dir + --fleet attach =="
 # Three graftstat self-test processes spool rotated segment rings into one
 # VINO_SPOOL directory; one --fleet view must multiplex all of them. Real
 # process interleaving, so it runs under the same until-fail flake guard as
 # the dispatch tests.
 ctest --test-dir build -R graftstat_fleet_smoke --repeat until-fail:5 \
   --output-on-failure
+
+echo "== [6/8] multi-tenant serving smoke: survival invariants hard-fail =="
+# A scaled-down 48-installer run of the PR-9 serving scenario, hostile mix
+# included, flight recorder spooled. serve_bench exits non-zero if any
+# survival invariant fails (hostile graft not ejected, lost events,
+# stranded lock waiters, unbalanced billing, kernel not serving), which
+# fails this gate; the spool it produced must then replay cleanly.
+SERVE_SPOOL="$PWD/build/serve-smoke-spool.bin"
+rm -f "$SERVE_SPOOL"
+VINO_TRACE=1 build/bench/serve_bench --smoke \
+  --spool "$SERVE_SPOOL" --json "$PWD/build/serve.smoke.json"
+build/tools/graftstat --spool "$SERVE_SPOOL" --json >/dev/null
+echo "serving smoke: ok (all invariants held; spool replayed cleanly)"
 
 if [[ "$BENCH" == "1" ]]; then
   # Shared CI boxes are too noisy for a hard perf gate, so the default is
@@ -157,22 +179,34 @@ if [[ "$BENCH" == "1" ]]; then
     --benchmark_min_time=0.05 >/dev/null
   tools/bench_compare.py ${BENCH_GATE[@]+"${BENCH_GATE[@]}"} --sigmas 2 \
     "BENCH_PR7.json#bench_sfi.after" "build/bench_sfi.smoke.json"
+  echo "== [bench] serving macro smoke vs BENCH_PR9.json ($GATE_LABEL) =="
+  # Same shape serve_load.py records under the "smoke" key: per-epoch
+  # repetitions of the --smoke scenario, so --sigmas has spread to work with.
+  build/bench/serve_bench --smoke --epochs 4 \
+    --json "build/serve_bench.smoke.json" >/dev/null
+  tools/bench_compare.py ${BENCH_GATE[@]+"${BENCH_GATE[@]}"} --sigmas 2 \
+    "BENCH_PR9.json#smoke" "build/serve_bench.smoke.json"
 fi
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [6/7] [7/7] skipped (--fast) =="
+  echo "== [7/8] [8/8] skipped (--fast) =="
   exit 0
 fi
 
-echo "== [6/7] ThreadSanitizer: concurrency-heavy tests =="
+echo "== [7/8] ThreadSanitizer: concurrency-heavy tests =="
 cmake -B build-tsan -S . -DVINO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSAN_OPTIONS: fail the test process on the first report; tools/tsan.supp
 # silences libstdc++ _Sp_atomic false positives (see that file).
 TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
   ctest --test-dir build-tsan \
-  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test|trace_spool_test|abort_delivery_test|threaded_vm_test' \
+  -R 'worker_pool_test|robustness_test|stress_test|net_test|graft_point_test|txn_lock_test|watchdog_test|kernel_test|trace_test|trace_spool_test|abort_delivery_test|threaded_vm_test|install_stress_test|lockmgr_test|grafted_lockmgr_test' \
   --output-on-failure -j "$JOBS"
+# The serving smoke under TSan: installer churn, hostile ejections, lock
+# waits, and HTTP dispatch racing across worker threads in one process.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
+  build-tsan/bench/serve_bench --smoke \
+  --json "$PWD/build-tsan/serve.smoke.json"
 # The tier-differential fuzz and the threaded dispatcher's shared-artifact
 # races, with the loader forced to each tier in turn.
 for tier in 0 1; do
@@ -183,7 +217,7 @@ for tier in 0 1; do
     --output-on-failure -j "$JOBS"
 done
 
-echo "== [7/7] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
+echo "== [8/8] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
 cmake -B build-asan -S . -DVINO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 # alloc_test is excluded: it replaces global operator new to count heap

@@ -1050,8 +1050,10 @@ int main(int argc, char** argv) {
                   ds.segments, ds.segments_reclaimed);
     }
     std::printf("  \"txn\": {\"begins\": %" PRIu64 ", \"commits\": %" PRIu64
-                ", \"aborts\": %" PRIu64 "},\n",
-                txn.begins, txn.commits, txn.aborts);
+                ", \"aborts\": %" PRIu64 ", \"slab_misses\": %" PRIu64
+                ", \"slab_overflows\": %" PRIu64 "},\n",
+                txn.begins, txn.commits, txn.aborts, txn.slab_misses,
+                txn.slab_overflows);
     std::printf("  \"trace\": {\"records\": %" PRIu64 ", \"dropped\": %" PRIu64
                 ", \"overwritten\": %" PRIu64 ", \"rings\": %" PRIu64
                 ", \"events\": {",
