@@ -62,6 +62,10 @@ enum class Event : uint16_t {
                    // a32 = locks held (L), b = undo length (G).
 
   // Locks (src/txn/txn_lock.cc, src/lockmgr/lock_manager.cc).
+  // The `a` field of kLockAcquire/kLockContend and kGraftEjected below is
+  // how fuzz anomaly triage (src/fuzz/fuzz_harness.h) attributes a leaked
+  // resource or a missed ejection from a replayed spool — repacking these
+  // fields silently breaks that attribution.
   kLockAcquire,    // a = lock/resource id, a32 = mode or recursion.
   kLockContend,    // a = lock/resource id, b = waiters or wait-start.
   kLockTimeout,    // a = lock/resource id, b = waited µs (holder abort posted).

@@ -1,0 +1,531 @@
+#include "src/fuzz/corpus.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/base/rng.h"
+#include "src/base/sha256.h"
+#include "src/fuzz/program_gen.h"
+#include "src/sfi/assembler.h"
+#include "src/sfi/misfit.h"
+#include "src/sfi/signing.h"
+
+namespace vino {
+namespace fuzz {
+namespace {
+
+constexpr GraftIdentity kCorpusUser{1001, false};
+
+// Signs like a *compromised* toolchain: a raw HMAC over the encoding with
+// no instrumented/structural gatekeeping, so fixtures can carry valid
+// signatures over programs the real SigningAuthority would refuse to bless.
+SignedGraft ForgeSign(Program program, const std::string& key) {
+  const std::vector<uint8_t> bytes = EncodeProgram(program);
+  SignedGraft out;
+  out.signature = HmacSha256(key, bytes.data(), bytes.size());
+  out.program = std::move(program);
+  return out;
+}
+
+// A benign instrumented source program: in-arena-ish stores, some ALU.
+Program BenignSource(Rng& rng, uint32_t ok_call_id) {
+  GenOptions gen;
+  gen.length = static_cast<int>(rng.Range(6, 20));
+  gen.ok_call_id = ok_call_id;
+  gen.hostile_call_id = ok_call_id;  // Never hostile: corpus wants clean loads.
+  gen.hostile_call_chance = 0.0;
+  return RandomProgram(rng, gen);
+}
+
+}  // namespace
+
+const std::string& CorpusSigningKey() {
+  static const std::string kKey = "vinolite-default-signing-key";
+  return kKey;
+}
+
+void RegisterCorpusHost(HostCallTable& table, uint32_t* ok_id,
+                        uint32_t* internal_id) {
+  const uint32_t ok = table.Register(
+      "fuzz.ok",
+      [](HostCallContext& ctx) -> Result<uint64_t> {
+        return ctx.args[0] ^ 0x9e3779b97f4a7c15ull;
+      },
+      /*graft_callable=*/true);
+  const uint32_t internal = table.Register(
+      "fuzz.internal",
+      [](HostCallContext&) -> Result<uint64_t> { return 1ull; },
+      /*graft_callable=*/false);
+  if (ok_id != nullptr) {
+    *ok_id = ok;
+  }
+  if (internal_id != nullptr) {
+    *internal_id = internal;
+  }
+}
+
+Status ReplayFixture(const std::vector<uint8_t>& bytes, GraftLoader& loader) {
+  Result<SignedGraft> sg = DeserializeSignedGraft(bytes);
+  if (!sg.ok()) {
+    return sg.status();
+  }
+  Result<std::shared_ptr<Graft>> graft =
+      loader.Load(*sg, GraftLoader::LoadSpec{kCorpusUser, nullptr});
+  return graft.status();
+}
+
+std::vector<CorpusFixture> BuildCorpus(std::string* error) {
+  std::vector<CorpusFixture> out;
+  Rng rng(0xC0'4B'05'5Eull);  // Corpus seed; never varies.
+
+  HostCallTable host;
+  uint32_t ok_id = 0;
+  uint32_t internal_id = 0;
+  RegisterCorpusHost(host, &ok_id, &internal_id);
+  GraftNamespace ns;
+  GraftLoader loader(&ns, &host, SigningAuthority(CorpusSigningKey()));
+  const SigningAuthority authority(CorpusSigningKey());
+
+  const auto add = [&](std::string name, std::string comment, Status expect,
+                       std::vector<uint8_t> bytes) {
+    CorpusFixture f;
+    f.name = std::move(name);
+    f.comment = std::move(comment);
+    f.expect = expect;
+    f.bytes = std::move(bytes);
+    out.push_back(std::move(f));
+  };
+
+  // A signed, loadable container to mutate from.
+  const auto make_valid = [&]() -> std::vector<uint8_t> {
+    Result<Program> inst = Instrument(BenignSource(rng, ok_id), MisfitOptions{16});
+    Result<SignedGraft> sg = authority.Sign(*inst);
+    return SerializeSignedGraft(*sg);
+  };
+
+  // --- Positive anchors: the pipeline accepts what the toolchain emits ---
+  for (int i = 0; i < 2; ++i) {
+    add("accept-valid-" + std::to_string(i),
+        "real instrumented+signed output loads cleanly (positive control)",
+        Status::kOk, make_valid());
+  }
+
+  // --- Decode bombs: counts the container cannot back with bytes --------
+  for (int i = 0; i < 3; ++i) {
+    // Container header + program header claiming a huge manifest.
+    Program p;
+    p.name = "bomb";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    std::vector<uint8_t> bytes = SerializeSignedGraft(ForgeSign(p, CorpusSigningKey()));
+    // Patch the direct_call_ids count (u32 at container offset 37 + 16 +
+    // name_len) to an absurd value; the decoder must refuse before any
+    // allocation. Three variants: just-past-cap, cap-but-short, u32 max.
+    const size_t call_count_off = 5 + 32 + 20 + p.name.size();
+    const uint32_t bomb = i == 0 ? (1u << 20) + 1 : i == 1 ? (1u << 20) : 0xffffffffu;
+    for (int b = 0; b < 4; ++b) {
+      bytes[call_count_off + static_cast<size_t>(b)] =
+          static_cast<uint8_t>(bomb >> (b * 8));
+    }
+    add("decode-bomb-calls-" + std::to_string(i),
+        "manifest count has no bytes behind it (allocation bomb)",
+        Status::kBadGraft, bytes);
+  }
+  for (int i = 0; i < 3; ++i) {
+    Program p;
+    p.name = "bomb";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    std::vector<uint8_t> bytes = SerializeSignedGraft(ForgeSign(p, CorpusSigningKey()));
+    const size_t code_count_off = 5 + 32 + 20 + p.name.size() + 4;
+    const uint32_t bomb = i == 0 ? (1u << 24) + 1 : i == 1 ? (1u << 24) : 0xfffffffeu;
+    for (int b = 0; b < 4; ++b) {
+      bytes[code_count_off + static_cast<size_t>(b)] =
+          static_cast<uint8_t>(bomb >> (b * 8));
+    }
+    add("decode-bomb-code-" + std::to_string(i),
+        "instruction count claims gigabytes a 60-byte file cannot hold",
+        Status::kBadGraft, bytes);
+  }
+
+  // --- Truncated images -------------------------------------------------
+  {
+    const std::vector<uint8_t> whole = make_valid();
+    const size_t cuts[6] = {3,                       // Inside the magic.
+                            20,                      // Inside the signature.
+                            5 + 32 + 2,              // Inside the program header.
+                            5 + 32 + 16 + 1,         // Inside the name.
+                            whole.size() * 1 / 2,    // Mid-code.
+                            whole.size() - 3};       // Last instruction torn.
+    for (int i = 0; i < 6; ++i) {
+      add("truncated-" + std::to_string(i),
+          "container cut short at byte " + std::to_string(cuts[i]),
+          Status::kBadGraft,
+          std::vector<uint8_t>(whole.begin(),
+                               whole.begin() + static_cast<long>(cuts[i])));
+    }
+  }
+
+  // --- Bit-flip tampering ----------------------------------------------
+  {
+    const std::vector<uint8_t> whole = make_valid();
+    // Offsets chosen where the decode still succeeds, so the *signature*
+    // check is what refuses the graft: the stored digest itself, the
+    // sandbox_log2 field, the name bytes, and instruction immediates.
+    const size_t sig_off = 5;                    // First signature byte.
+    const size_t log2_off = 5 + 32 + 12;         // sandbox_log2 field.
+    const size_t name_off = 5 + 32 + 20;         // First name byte.
+    const size_t imm_off = whole.size() - 8;     // Final kHalt imm bytes.
+    const size_t offs[8] = {sig_off,     sig_off + 31, log2_off, log2_off + 1,
+                            name_off,    name_off + 2, imm_off,  imm_off + 5};
+    for (int i = 0; i < 8; ++i) {
+      std::vector<uint8_t> bytes = whole;
+      bytes[offs[i]] ^= static_cast<uint8_t>(1u << (i % 8));
+      add("bitflip-" + std::to_string(i),
+          "one flipped bit at offset " + std::to_string(offs[i]),
+          Status::kBadSignature, bytes);
+    }
+  }
+
+  // --- Wrong signing key -------------------------------------------------
+  for (int i = 0; i < 2; ++i) {
+    Result<Program> inst = Instrument(BenignSource(rng, ok_id), MisfitOptions{16});
+    const SigningAuthority wrong("not-the-kernel-key-" + std::to_string(i));
+    Result<SignedGraft> sg = wrong.Sign(*inst);
+    add("wrong-key-" + std::to_string(i),
+        "valid container signed by an authority the kernel does not trust",
+        Status::kBadSignature, SerializeSignedGraft(*sg));
+  }
+
+  // --- Uninstrumented but validly signed (compromised toolchain) --------
+  for (int i = 0; i < 2; ++i) {
+    Asm a("raw-" + std::to_string(i));
+    a.LoadImm(R0, 7 + i).Halt();
+    // The authority refuses to even validate signatures over uninstrumented
+    // programs (Verify's first check), so the loader reports this as a
+    // signature failure — kNotInstrumented never wins the race. The fixture
+    // pins that defense-in-depth ordering.
+    add("not-instrumented-" + std::to_string(i),
+        "compromised toolchain signs a raw (never-MiSFIT'd) program",
+        Status::kBadSignature,
+        SerializeSignedGraft(ForgeSign(*a.Finish(), CorpusSigningKey())));
+  }
+
+  // --- Forged manifests --------------------------------------------------
+  for (int i = 0; i < 3; ++i) {
+    // The code calls the graft-callable id but the manifest hides it:
+    // the link-time check passes vacuously and only the verifier's
+    // stream-derived call set catches the lie.
+    Asm a("hidden-call");
+    a.LoadImm(R1, 3 + i).Call(ok_id).Halt();
+    Result<Program> inst = Instrument(*a.Finish(), MisfitOptions{16});
+    Program forged = *inst;
+    forged.direct_call_ids.clear();
+    add("manifest-understates-" + std::to_string(i),
+        "manifest omits a real direct call (forged-manifest hole)",
+        Status::kIllegalCall,
+        SerializeSignedGraft(ForgeSign(std::move(forged), CorpusSigningKey())));
+  }
+  for (int i = 0; i < 3; ++i) {
+    // Honest manifest, hostile target: a direct call at a registered but
+    // non-graft-callable kernel entry point. Link-time check refuses.
+    Asm a("internal-call");
+    a.LoadImm(R2, 5 + i).Call(internal_id).Halt();
+    Result<Program> inst = Instrument(*a.Finish(), MisfitOptions{16});
+    add("calls-internal-" + std::to_string(i),
+        "direct call targets a non-graft-callable kernel function",
+        Status::kIllegalCall,
+        SerializeSignedGraft(ForgeSign(*inst, CorpusSigningKey())));
+  }
+  for (int i = 0; i < 2; ++i) {
+    // Manifest *overclaims* an illegal id the code never calls — the
+    // link-time check still refuses, because every declared id must be
+    // callable before any linking happens.
+    Result<Program> inst = Instrument(BenignSource(rng, 0), MisfitOptions{16});
+    Program forged = *inst;
+    forged.direct_call_ids.push_back(internal_id);
+    add("manifest-overclaims-" + std::to_string(i),
+        "manifest declares a non-callable id (code never calls it)",
+        Status::kIllegalCall,
+        SerializeSignedGraft(ForgeSign(std::move(forged), CorpusSigningKey())));
+  }
+
+  // --- Mask-writing forgeries (the PR-6 verifier hole, now closed) ------
+  for (int i = 0; i < 4; ++i) {
+    Program p;
+    p.name = "mask-write";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    // Widen the mask / rebase, then do a "sandboxed" store: classic
+    // dedicated-register clobber. Variants touch mask, base, or both.
+    if (i != 1) {
+      p.code.push_back({Op::kLoadImm, kSandboxMaskReg, 0, 0, 0xfff});
+    }
+    if (i != 0) {
+      p.code.push_back({Op::kLoadImm, kSandboxBaseReg, 0, 0, 0});
+    }
+    p.code.push_back({Op::kLoadImm, 1, 0, 0, 64 + i});
+    p.code.push_back({Op::kSandboxAddr, kSandboxAddrReg, 1, 0, 0});
+    p.code.push_back({Op::kSt64, 0, kSandboxAddrReg, 1, 0});
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add("mask-write-" + std::to_string(i),
+        "forgery writes the reserved sandbox mask/base registers",
+        Status::kVerifyFailed,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+
+  // --- Unsandboxed accesses ----------------------------------------------
+  for (int i = 0; i < 4; ++i) {
+    Program p;
+    p.name = "wild-access";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kLoadImm, 1, 0, 0, static_cast<int64_t>(rng.Below(1 << 20))});
+    if (i < 2) {
+      p.code.push_back({Op::kSt64, 0, 1, 1, static_cast<int64_t>(i * 8)});
+    } else {
+      p.code.push_back({Op::kLd64, 2, 1, 0, static_cast<int64_t>(i * 8)});
+    }
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add((i < 2 ? "unsandboxed-store-" : "unsandboxed-load-") +
+            std::to_string(i % 2),
+        "memory access whose address was never sandboxed",
+        Status::kVerifyFailed,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+
+  // --- Raw indirect calls (instrumenter rewrites all kCallR) -------------
+  for (int i = 0; i < 2; ++i) {
+    Program p;
+    p.name = "raw-callr";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kLoadImm, 3, 0, 0, static_cast<int64_t>(ok_id)});
+    p.code.push_back({Op::kCallR, 0, 3, 0, 0});
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add("raw-callr-" + std::to_string(i),
+        "unrewritten kCallR in a claimed-instrumented program",
+        Status::kVerifyFailed,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+
+  // --- Guard-zone overflow ------------------------------------------------
+  for (int i = 0; i < 2; ++i) {
+    Program p;
+    p.name = "guard-overflow";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kLoadImm, 1, 0, 0, 0});
+    p.code.push_back({Op::kSandboxAddr, kSandboxAddrReg, 1, 0, 0});
+    // Sandboxed base, but the constant offset escapes the guard zone.
+    p.code.push_back({Op::kSt64, 0, kSandboxAddrReg, 1,
+                      static_cast<int64_t>(kSandboxGuardBytes + 8 + 64 * i)});
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add("guard-overflow-" + std::to_string(i),
+        "sandboxed base plus an offset past the guard zone",
+        Status::kVerifyFailed,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+
+  // --- Arena declaration out of range ------------------------------------
+  {
+    const uint32_t bad_log2[4] = {0, 3, 31, 40};
+    for (int i = 0; i < 4; ++i) {
+      Result<Program> inst =
+          Instrument(BenignSource(rng, 0), MisfitOptions{16});
+      Program forged = *inst;
+      forged.sandbox_log2 = bad_log2[i];
+      add("bad-arena-" + std::to_string(i),
+          "sandbox_log2=" + std::to_string(bad_log2[i]) +
+              " maps to no real arena",
+          Status::kBadGraft,
+          SerializeSignedGraft(ForgeSign(std::move(forged), CorpusSigningKey())));
+    }
+  }
+
+  // --- Structurally broken but validly signed ----------------------------
+  for (int i = 0; i < 2; ++i) {
+    // Undefined opcode: the canonical decoder refuses the container.
+    Program p;
+    p.name = "bad-op";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({static_cast<Op>(200 + i), 0, 0, 0, 0});
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add("bad-opcode-" + std::to_string(i), "undefined opcode byte",
+        Status::kBadGraft,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Program p;
+    p.name = "bad-reg";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kAdd, static_cast<uint8_t>(20 + i), 1, 2, 0});
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add("bad-register-" + std::to_string(i),
+        "register index past the 16-register file", Status::kBadGraft,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+  for (int i = 0; i < 2; ++i) {
+    Program p;
+    p.name = "bad-branch";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kBeq, 0, 1, 2, 100 + i});
+    p.code.push_back({Op::kHalt, 0, 0, 0, 0});
+    add("bad-branch-" + std::to_string(i),
+        "branch target lands outside the program", Status::kBadGraft,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+  {
+    Program p;
+    p.name = "no-halt";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    p.code.push_back({Op::kAdd, 1, 2, 3, 0});
+    add("no-halt", "program falls off the end (no terminal kHalt/kJmp)",
+        Status::kBadGraft,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+  {
+    Program p;
+    p.name = "empty";
+    p.instrumented = true;
+    p.sandbox_log2 = 16;
+    add("empty-program", "zero-instruction program", Status::kBadGraft,
+        SerializeSignedGraft(ForgeSign(std::move(p), CorpusSigningKey())));
+  }
+
+  // --- The builder re-checks every expectation against the live pipeline —
+  // a corpus fixture can never be checked in stale.
+  if (error != nullptr) {
+    error->clear();
+    for (const CorpusFixture& f : out) {
+      const Status got = ReplayFixture(f.bytes, loader);
+      if (got != f.expect) {
+        *error = "fixture '" + f.name + "' expected " +
+                 std::string(StatusName(f.expect)) + " but the pipeline says " +
+                 std::string(StatusName(got));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status WriteCorpus(const std::string& dir) {
+  std::string error;
+  const std::vector<CorpusFixture> corpus = BuildCorpus(&error);
+  if (!error.empty()) {
+    return Status::kInternal;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::kInvalidArgs;
+  }
+  int index = 0;
+  for (const CorpusFixture& f : corpus) {
+    std::ostringstream name;
+    name.width(2);
+    name.fill('0');
+    name << index++;
+    const std::string path =
+        (std::filesystem::path(dir) / (name.str() + "-" + f.name + ".corpus"))
+            .string();
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      return Status::kInvalidArgs;
+    }
+    out << "# " << f.comment << "\n";
+    out << "name: " << f.name << "\n";
+    out << "expect: " << StatusName(f.expect) << "\n";
+    out << "hex: ";
+    static const char kHex[] = "0123456789abcdef";
+    for (const uint8_t b : f.bytes) {
+      out << kHex[b >> 4] << kHex[b & 0xf];
+    }
+    out << "\n";
+  }
+  return Status::kOk;
+}
+
+Status StatusFromName(const std::string& name) {
+  // The codes a loader-rejection corpus can legitimately record.
+  static const struct {
+    const char* name;
+    Status status;
+  } kTable[] = {
+      {"OK", Status::kOk},
+      {"BAD_SIGNATURE", Status::kBadSignature},
+      {"NOT_INSTRUMENTED", Status::kNotInstrumented},
+      {"ILLEGAL_CALL", Status::kIllegalCall},
+      {"RESTRICTED_POINT", Status::kRestrictedPoint},
+      {"BAD_GRAFT", Status::kBadGraft},
+      {"VERIFY_FAILED", Status::kVerifyFailed},
+      {"SFI_BAD_OPCODE", Status::kSfiBadOpcode},
+  };
+  for (const auto& entry : kTable) {
+    if (name == entry.name) {
+      return entry.status;
+    }
+  }
+  return Status::kInternal;
+}
+
+Result<CorpusFixture> ParseCorpusFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::kNotFound;
+  }
+  CorpusFixture f;
+  bool saw_expect = false;
+  bool saw_hex = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (line.rfind("name: ", 0) == 0) {
+      f.name = line.substr(6);
+    } else if (line.rfind("expect: ", 0) == 0) {
+      f.expect = StatusFromName(line.substr(8));
+      if (f.expect == Status::kInternal) {
+        return Status::kInvalidArgs;
+      }
+      saw_expect = true;
+    } else if (line.rfind("hex: ", 0) == 0) {
+      const std::string hex = line.substr(5);
+      if (hex.size() % 2 != 0) {
+        return Status::kInvalidArgs;
+      }
+      f.bytes.reserve(hex.size() / 2);
+      for (size_t i = 0; i < hex.size(); i += 2) {
+        const auto nibble = [](char c) -> int {
+          if (c >= '0' && c <= '9') return c - '0';
+          if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+          return -1;
+        };
+        const int hi = nibble(hex[i]);
+        const int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0) {
+          return Status::kInvalidArgs;
+        }
+        f.bytes.push_back(static_cast<uint8_t>((hi << 4) | lo));
+      }
+      saw_hex = true;
+    }
+  }
+  if (!saw_expect || !saw_hex) {
+    return Status::kInvalidArgs;
+  }
+  return f;
+}
+
+}  // namespace fuzz
+}  // namespace vino

@@ -1,0 +1,79 @@
+// Adversarial loader-rejection corpus.
+//
+// BuildCorpus() deterministically constructs ~50 hostile signed-graft
+// containers — decode bombs, truncated images, bit-flip tampering,
+// wrong-key signatures, forged manifests, mask-writing and unsandboxed
+// forgeries, raw-indirect-call forgeries, bad arena declarations — each
+// paired with the exact Status the deserialize→GraftLoader::Load pipeline
+// must produce for it. The builder *asserts its own expectations*: a
+// fixture whose live pipeline verdict differs from its constructed
+// expectation is a build-time error, so the corpus can never be checked in
+// stale.
+//
+// graftfuzz --emit-corpus writes the set to disk (one self-describing text
+// file per fixture); tests/loader_corpus_test.cc replays the checked-in
+// files and asserts each earns its recorded status — pinning every loader
+// rejection path against regression, byte-for-byte.
+//
+// Fixture file format (text, '#' comments):
+//   name: <fixture name>
+//   expect: <StatusName, e.g. BAD_SIGNATURE>
+//   hex: <container bytes as lowercase hex, one long line>
+
+#ifndef VINOLITE_SRC_FUZZ_CORPUS_H_
+#define VINOLITE_SRC_FUZZ_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/graft/loader.h"
+#include "src/sfi/host.h"
+
+namespace vino {
+namespace fuzz {
+
+// The corpus's canonical signing key (the repo-wide default).
+[[nodiscard]] const std::string& CorpusSigningKey();
+
+// The corpus's canonical host table: "fuzz.ok" (graft-callable, id 1) and
+// "fuzz.internal" (registered but not graft-callable, id 2). Fixture
+// manifests and call sites reference these fixed ids, so replay must build
+// the table with this exact registration order.
+void RegisterCorpusHost(HostCallTable& table, uint32_t* ok_id,
+                        uint32_t* internal_id);
+
+struct CorpusFixture {
+  std::string name;
+  std::string comment;  // One-line description of the attack class.
+  Status expect = Status::kOk;
+  std::vector<uint8_t> bytes;  // Serialized (or deliberately broken) container.
+};
+
+// Deterministically builds the full fixture set. Every fixture's expected
+// status has been re-checked against the live pipeline; a mismatch aborts
+// via the returned error string (empty on success).
+[[nodiscard]] std::vector<CorpusFixture> BuildCorpus(std::string* error);
+
+// The exact pipeline the corpus pins: DeserializeSignedGraft, then Load
+// with an unprivileged identity. Returns the first failing status, or kOk.
+[[nodiscard]] Status ReplayFixture(const std::vector<uint8_t>& bytes,
+                                   GraftLoader& loader);
+
+// Writes every fixture to `<dir>/<NN>-<name>.corpus`. Returns kOk, or the
+// first build/IO failure.
+Status WriteCorpus(const std::string& dir);
+
+// Parses one fixture file written by WriteCorpus. Status parse errors and
+// malformed hex fail with kInvalidArgs.
+[[nodiscard]] Result<CorpusFixture> ParseCorpusFile(const std::string& path);
+
+// Name → Status for the codes the corpus uses (inverse of StatusName).
+// Returns kInternal for unknown names.
+[[nodiscard]] Status StatusFromName(const std::string& name);
+
+}  // namespace fuzz
+}  // namespace vino
+
+#endif  // VINOLITE_SRC_FUZZ_CORPUS_H_

@@ -94,6 +94,10 @@ class EventGraftPoint {
 
   [[nodiscard]] size_t handler_count() const;
 
+  // handlers_run counts every handler reached, including ones whose run
+  // aborted, and matches Stats::handler_runs 1:1 — the fuzz harness's
+  // zero-lost-events invariant reconciles the two, so an aborted handler
+  // must never be dropped from either count.
   struct DispatchOutcome {
     size_t handlers_run = 0;
     size_t handler_aborts = 0;

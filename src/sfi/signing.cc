@@ -56,6 +56,11 @@ Result<SignedGraft> SigningAuthority::Sign(Program program) const {
 }
 
 bool SigningAuthority::Verify(const SignedGraft& graft) const {
+  // Uninstrumented programs are refused before the HMAC is even computed:
+  // a correctly-signed-but-uninstrumented container therefore reports
+  // kBadSignature from the loader, never kNotInstrumented. The checked-in
+  // rejection corpus (tests/corpus/loader_reject, not-instrumented-*)
+  // pins this ordering; reordering these checks breaks those fixtures.
   if (!graft.program.instrumented) {
     return false;
   }

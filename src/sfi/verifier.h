@@ -93,6 +93,13 @@ struct VerifierOptions {
 };
 
 struct VerifierReport {
+  // The failure taxonomy is part of the loader's public contract: call-set
+  // violations (undeclared manifest calls, non-callable targets) fail with
+  // kIllegalCall; sandbox/memory violations (sandbox-register writes,
+  // underived addresses, guard-zone escapes, non-convergence) fail with
+  // kVerifyFailed. The checked-in rejection corpus
+  // (tests/corpus/loader_reject) asserts the exact status per attack
+  // class, so moving a rejection between the two codes breaks fixtures.
   Status status = Status::kOk;
 
   // On failure: the pc of the offending instruction and a human-readable

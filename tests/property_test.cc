@@ -22,11 +22,13 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <iostream>
 #include <map>
 #include <utility>
 #include <vector>
 
 #include "src/base/rng.h"
+#include "src/fuzz/program_gen.h"
 #include "src/mem/memory_system.h"
 #include "src/resource/account.h"
 #include "src/sfi/assembler.h"
@@ -46,52 +48,26 @@ constexpr GraftIdentity kUser{1001, false};
 
 // ---------------------------------------------------------------------
 // P1/P2: random-program generation.
+//
+// The generators live in src/fuzz/program_gen.h, shared with the
+// graftfuzz harness; VINO_FUZZ_SEEDS / VINO_FUZZ_ITERS widen the sweep
+// without a rebuild, and failures dump a graftdump-style disassembly to
+// VINO_FUZZ_ARTIFACTS for offline repro.
 // ---------------------------------------------------------------------
 
-// Generates a random but *verifiable* program: structured control flow
-// (forward branches only, so it always terminates), random ALU ops, and
-// random loads/stores with arbitrary addresses.
-Program RandomProgram(Rng& rng, int length) {
-  Asm a("fuzz");
-  for (int i = 0; i < length; ++i) {
-    const auto r = [&rng] { return Reg{static_cast<uint8_t>(rng.Below(12))}; };
-    switch (rng.Below(10)) {
-      case 0:
-        a.LoadImm(r(), static_cast<int64_t>(rng.Next()));
-        break;
-      case 1:
-        a.Add(r(), r(), r());
-        break;
-      case 2:
-        a.Sub(r(), r(), r());
-        break;
-      case 3:
-        a.Mul(r(), r(), r());
-        break;
-      case 4:
-        a.Xor(r(), r(), r());
-        break;
-      case 5:
-        a.ShrI(r(), r(), static_cast<int64_t>(rng.Below(63)));
-        break;
-      case 6:
-        a.Ld64(r(), r(), static_cast<int64_t>(rng.Below(1 << 16)));
-        break;
-      case 7:
-        a.St64(r(), r(), static_cast<int64_t>(rng.Below(1 << 16)));
-        break;
-      case 8:
-        a.Ld8(r(), r(), static_cast<int64_t>(rng.Below(1 << 16)));
-        break;
-      default:
-        a.St16(r(), r(), static_cast<int64_t>(rng.Below(1 << 16)));
-        break;
-    }
+// Dumps `program` on a just-failed trial and stops the sweep (later trials
+// of a poisoned RNG stream add noise, not information).
+bool DumpOnFailure(const char* label, uint64_t seed, int trial,
+                   const Program& program, const char* notes) {
+  if (!::testing::Test::HasFailure()) {
+    return false;
   }
-  a.Halt();
-  Result<Program> p = a.Finish();
-  EXPECT_TRUE(p.ok());
-  return *p;
+  const std::string path =
+      fuzz::DumpArtifact(label, seed, trial, program, notes, "");
+  if (!path.empty()) {
+    std::cerr << "failing program dumped to " << path << "\n";
+  }
+  return true;
 }
 
 class SandboxFuzzTest : public ::testing::TestWithParam<uint64_t> {};
@@ -99,8 +75,9 @@ class SandboxFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(SandboxFuzzTest, RandomProgramsNeverEscapeArena) {
   Rng rng(GetParam());
   HostCallTable host;
-  for (int trial = 0; trial < 40; ++trial) {
-    const Program raw = RandomProgram(rng, 30);
+  const int trials = fuzz::ItersFromEnv(40);
+  for (int trial = 0; trial < trials; ++trial) {
+    const Program raw = fuzz::RandomProgram(rng, fuzz::GenOptions{.length = 30});
     Result<Program> inst = Instrument(raw, MisfitOptions{16});
     ASSERT_TRUE(inst.ok());
 
@@ -175,8 +152,10 @@ TEST_P(SandboxFuzzTest, InstrumentationPreservesInArenaSemantics) {
 
 TEST_P(SandboxFuzzTest, EncodeDecodeRoundTripsRandomPrograms) {
   Rng rng(GetParam() ^ 0x777);
-  for (int trial = 0; trial < 40; ++trial) {
-    Program p = RandomProgram(rng, static_cast<int>(rng.Range(1, 60)));
+  const int trials = fuzz::ItersFromEnv(40);
+  for (int trial = 0; trial < trials; ++trial) {
+    const int length = static_cast<int>(rng.Range(1, 60));
+    Program p = fuzz::RandomProgram(rng, fuzz::GenOptions{.length = length});
     p.direct_call_ids = {static_cast<uint32_t>(rng.Below(100) + 1)};
     const std::vector<uint8_t> bytes = EncodeProgram(p);
     Result<Program> decoded = DecodeProgram(bytes);
@@ -187,8 +166,9 @@ TEST_P(SandboxFuzzTest, EncodeDecodeRoundTripsRandomPrograms) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SandboxFuzzTest,
-                         ::testing::Values(1, 42, 1337, 0xdeadbeef, 99999));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SandboxFuzzTest,
+    ::testing::ValuesIn(fuzz::SeedsFromEnv({1, 42, 1337, 0xdeadbeef, 99999})));
 
 // ---------------------------------------------------------------------
 // P7: verifier soundness.
@@ -205,42 +185,9 @@ TEST_P(VerifierFuzzTest, AcceptedForgeriesAreConfinedWithoutRuntimeChecks) {
   Rng rng(GetParam() ^ 0x5afe);
   HostCallTable host;
   size_t accepted = 0;
-  for (int trial = 0; trial < 150; ++trial) {
-    Program p;
-    p.name = "forged-fuzz";
-    p.instrumented = true;
-    p.sandbox_log2 = 16;
-    const auto len = static_cast<int>(rng.Range(2, 24));
-    const auto low = [&rng] { return static_cast<uint8_t>(rng.Below(12)); };
-    for (int i = 0; i < len; ++i) {
-      // Mem-op bases are r14 (maybe sandboxed) or a random low register;
-      // offsets straddle the guard boundary so both verdicts occur.
-      const uint8_t base = rng.Chance(0.7) ? kSandboxAddrReg : low();
-      const auto off = static_cast<int64_t>(rng.Below(2 * kSandboxGuardBytes));
-      Instruction ins{};
-      switch (rng.Below(10)) {
-        case 0: ins = {Op::kLoadImm, low(), 0, 0,
-                       static_cast<int64_t>(rng.Next())}; break;
-        case 1: ins = {Op::kAdd, low(), low(), low(), 0}; break;
-        case 2: ins = {Op::kSub, low(), low(), low(), 0}; break;
-        case 3: ins = {Op::kXor, low(), low(), low(), 0}; break;
-        case 4: ins = {Op::kAddI, low(), low(), 0,
-                       static_cast<int64_t>(rng.Below(4096))}; break;
-        case 5: ins = {Op::kSandboxAddr, kSandboxAddrReg, low(), 0, 0}; break;
-        case 6: ins = {Op::kLd64, low(), base, 0, off}; break;
-        case 7: ins = {Op::kSt64, 0, base, low(), off}; break;
-        case 8: ins = {Op::kMov, low(), rng.Chance(0.2)
-                           ? kSandboxBaseReg : low(), 0, 0}; break;
-        default:
-          // Forward branch only, so accepted programs terminate.
-          ins = {Op::kBeq, 0, low(), low(),
-                 static_cast<int64_t>(i + 1 + rng.Below(
-                     static_cast<uint64_t>(len - i)))};
-          break;
-      }
-      p.code.push_back(ins);
-    }
-    p.code.push_back(Instruction{Op::kHalt, 0, 0, 0, 0});
+  const int trials = fuzz::ItersFromEnv(150);
+  for (int trial = 0; trial < trials; ++trial) {
+    const Program p = fuzz::RandomForgedProgram(rng);
     if (VerifyProgram(p) != Status::kOk || !VerifySandbox(p).ok()) {
       continue;
     }
@@ -261,9 +208,17 @@ TEST_P(VerifierFuzzTest, AcceptedForgeriesAreConfinedWithoutRuntimeChecks) {
     EXPECT_EQ(out.status, Status::kOk)
         << "seed=" << GetParam() << " trial=" << trial;
     for (uint64_t i = 0; i < image.kernel_size(); ++i) {
-      ASSERT_EQ(image.data()[i], static_cast<uint8_t>(i * 29 + 3))
-          << "kernel byte " << i << " corrupted through the verified fast "
-          << "path (seed=" << GetParam() << " trial=" << trial << ")";
+      if (image.data()[i] != static_cast<uint8_t>(i * 29 + 3)) {
+        ADD_FAILURE() << "kernel byte " << i << " corrupted through the "
+                      << "verified fast path (seed=" << GetParam()
+                      << " trial=" << trial << ")";
+        break;
+      }
+    }
+    if (DumpOnFailure("verifier-forged", GetParam(), trial, p,
+                      "accepted forgery escaped confinement on the "
+                      "checks-deleted fast path")) {
+      return;
     }
   }
   // The property must not hold vacuously: some forgeries verify.
@@ -275,14 +230,19 @@ TEST_P(VerifierFuzzTest, InstrumenterOutputVerifiesAndFastPathAgrees) {
   // accept set, and deleting the bounds checks never changes its meaning.
   Rng rng(GetParam() ^ 0xfa57);
   HostCallTable host;
-  for (int trial = 0; trial < 40; ++trial) {
-    const Program raw = RandomProgram(rng, 30);
+  const int trials = fuzz::ItersFromEnv(40);
+  for (int trial = 0; trial < trials; ++trial) {
+    const Program raw = fuzz::RandomProgram(rng, fuzz::GenOptions{.length = 30});
     Result<Program> inst = Instrument(raw, MisfitOptions{16});
     ASSERT_TRUE(inst.ok());
     const VerifierReport report = VerifySandbox(*inst);
-    ASSERT_TRUE(report.ok()) << report.reason << " at pc " << report.fail_pc
+    EXPECT_TRUE(report.ok()) << report.reason << " at pc " << report.fail_pc
                              << " (seed=" << GetParam() << " trial=" << trial
                              << ")";
+    if (DumpOnFailure("verifier-complete", GetParam(), trial, *inst,
+                      "real instrumenter output rejected by the verifier")) {
+      return;
+    }
 
     uint64_t args[kMaxArgs];
     for (uint64_t& arg : args) {
@@ -299,11 +259,16 @@ TEST_P(VerifierFuzzTest, InstrumenterOutputVerifiesAndFastPathAgrees) {
     EXPECT_EQ(fast.status, checked.status);
     EXPECT_EQ(fast.ret, checked.ret);
     EXPECT_EQ(fast.instructions, checked.instructions);
+    if (DumpOnFailure("verifier-complete", GetParam(), trial, *inst,
+                      "checked and checks-deleted paths diverged")) {
+      return;
+    }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, VerifierFuzzTest,
-                         ::testing::Values(2, 77, 2026, 0xfade, 40404));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, VerifierFuzzTest,
+    ::testing::ValuesIn(fuzz::SeedsFromEnv({2, 77, 2026, 0xfade, 40404})));
 
 // ---------------------------------------------------------------------
 // P8: tier equivalence. The Tier-1 direct-threaded engine and the Tier-0
@@ -348,37 +313,17 @@ TEST_P(TierFuzzTest, TiersAgreeOnRegistersMemoryHostCallsAndAborts) {
 
   size_t compiled_count = 0;
   size_t abort_count = 0;
-  for (int trial = 0; trial < 60; ++trial) {
+  const int trials = fuzz::ItersFromEnv(60);
+  for (int trial = 0; trial < trials; ++trial) {
     // RandomProgram's ALU/memory mix, plus indirect host calls: mostly the
     // recorder, occasionally the non-callable id (a guaranteed abort).
-    Asm a("tier-fuzz");
     const int length = static_cast<int>(rng.Range(5, 40));
-    for (int i = 0; i < length; ++i) {
-      const auto r = [&rng] { return Reg{static_cast<uint8_t>(rng.Below(12))}; };
-      switch (rng.Below(12)) {
-        case 0: a.LoadImm(r(), static_cast<int64_t>(rng.Next())); break;
-        case 1: a.Add(r(), r(), r()); break;
-        case 2: a.Mul(r(), r(), r()); break;
-        case 3: a.DivU(r(), r(), r()); break;
-        case 4: a.Xor(r(), r(), r()); break;
-        case 5: a.ShrI(r(), r(), static_cast<int64_t>(rng.Below(63))); break;
-        case 6: a.Ld64(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
-        case 7: a.St64(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
-        case 8: a.Ld8(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
-        case 9: a.St16(r(), r(), static_cast<int64_t>(rng.Below(1 << 16))); break;
-        default: {
-          const uint32_t id =
-              rng.Chance(0.1) ? host0.hostile_id : host0.ok_id;
-          a.LoadImm(R11, id);
-          a.CallR(R11);
-          break;
-        }
-      }
-    }
-    a.Halt();
-    Result<Program> raw = a.Finish();
-    ASSERT_TRUE(raw.ok());
-    Result<Program> inst = Instrument(*raw, MisfitOptions{16});
+    const Program raw = fuzz::RandomProgram(
+        rng, fuzz::GenOptions{.length = length,
+                              .ok_call_id = host0.ok_id,
+                              .hostile_call_id = host0.hostile_id,
+                              .hostile_call_chance = 0.1});
+    Result<Program> inst = Instrument(raw, MisfitOptions{16});
     ASSERT_TRUE(inst.ok());
     ASSERT_TRUE(VerifySandbox(*inst).ok());
 
@@ -416,37 +361,44 @@ TEST_P(TierFuzzTest, TiersAgreeOnRegistersMemoryHostCallsAndAborts) {
     const RunOutcome out1 =
         ThreadedVm(&host1.table).Run(tier1, &image1, args, options);
 
-    ASSERT_EQ(out1.status, out0.status)
+    EXPECT_EQ(out1.status, out0.status)
         << "seed=" << GetParam() << " trial=" << trial;
-    ASSERT_EQ(out1.ret, out0.ret)
+    EXPECT_EQ(out1.ret, out0.ret)
         << "seed=" << GetParam() << " trial=" << trial;
-    ASSERT_EQ(out1.instructions, out0.instructions)
+    EXPECT_EQ(out1.instructions, out0.instructions)
         << "seed=" << GetParam() << " trial=" << trial;
     EXPECT_EQ(out0.tier, ExecTier::kTier0);
     EXPECT_EQ(out1.tier, ExecTier::kTier1);
     for (int i = 0; i < kNumRegisters; ++i) {
-      ASSERT_EQ(regs1[i], regs0[i])
-          << "register r" << i << " diverged (seed=" << GetParam()
-          << " trial=" << trial << ")";
+      if (regs1[i] != regs0[i]) {
+        ADD_FAILURE() << "register r" << i << " diverged (seed=" << GetParam()
+                      << " trial=" << trial << ")";
+        break;
+      }
     }
-    ASSERT_EQ(host1.calls, host0.calls)
+    EXPECT_EQ(host1.calls, host0.calls)
         << "host-call sequences diverged (seed=" << GetParam()
         << " trial=" << trial << ")";
-    ASSERT_EQ(
+    EXPECT_EQ(
         std::memcmp(image0.data(), image1.data(), image0.total_size()), 0)
         << "memory images diverged (seed=" << GetParam() << " trial=" << trial
         << ")";
+    if (DumpOnFailure("tier-fuzz", GetParam(), trial, tier1,
+                      "Tier-0 and Tier-1 diverged on this program")) {
+      return;
+    }
     if (!IsOk(out0.status)) {
       ++abort_count;
     }
   }
   // Not vacuous: every trial compiled, and some trials aborted mid-program.
-  EXPECT_EQ(compiled_count, 60u);
+  EXPECT_EQ(compiled_count, static_cast<size_t>(trials));
   EXPECT_GT(abort_count, 0u) << "seed=" << GetParam();
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TierFuzzTest,
-                         ::testing::Values(6, 83, 7001, 0x7071, 52525));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, TierFuzzTest,
+    ::testing::ValuesIn(fuzz::SeedsFromEnv({6, 83, 7001, 0x7071, 52525})));
 
 // ---------------------------------------------------------------------
 // P3: undo soundness under random nested transaction trees.

@@ -24,20 +24,28 @@
 #      events, lock table drained, billing balanced, kernel still serving —
 #      hard-fail the gate, and the produced spool must replay cleanly
 #      through graftstat --spool,
-#   7. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
+#   7. adversarial graft fuzzing: graftfuzz --smoke — deterministic
+#      survive-and-eject campaigns (fixed seeds, all three program classes,
+#      both execution tiers) against a live kernel with the spool attached;
+#      any anomaly (sandbox escape, tier divergence, missed ejection, lost
+#      events, spool loss) fails the gate and leaves a reproducer bundle
+#      under build/fuzz-artifacts,
+#   8. ThreadSanitizer build + the concurrency-heavy tests, so dispatch
 #      races (Drain vs DispatchAsync, pool lifecycle, txn locks, ring
 #      snapshot-during-write, concurrent Tier-1 dispatch over one shared
 #      compiled artifact, lock-table sharding, namespace install/invoke/
 #      remove churn, the serving smoke itself) fail CI instead of shipping;
 #      the tier-differential tests then re-run forced to each execution
-#      tier,
-#   8. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
+#      tier, and the fuzz smoke re-runs under TSan,
+#   9. AddressSanitizer+UBSan build + the full suite (minus alloc_test,
 #      whose global operator-new counter conflicts with ASan's allocator
 #      interposition), so heap misuse and undefined behaviour in the Vm /
-#      packing / undo-replay paths fail CI too.
+#      packing / undo-replay paths fail CI too; the fuzz smoke re-runs
+#      under ASan+UBSan as well.
 #
 # Usage: tools/check.sh [--fast] [--bench]
-#   --fast   skip the sanitizer stages (normal build + tests + flake guard).
+#   --fast   skip the sanitizer stages (normal build + tests + flake guard
+#            + a reduced-budget fuzz smoke).
 #   --bench  also run the micro-benchmarks and the serving smoke and diff
 #            them against the committed BENCH_PR2/PR7/PR9 json snapshots
 #            (warn-only: shared CI boxes are too noisy for a hard perf
@@ -59,7 +67,7 @@ for arg in "$@"; do
   esac
 done
 
-echo "== [1/8] build + full test suite (both execution tiers) =="
+echo "== [1/9] build + full test suite (both execution tiers) =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 # The loader's tier selection honours VINO_EXEC_TIER (unset defaults to the
@@ -68,7 +76,7 @@ cmake --build build -j "$JOBS"
 VINO_EXEC_TIER=1 ctest --test-dir build --output-on-failure -j "$JOBS"
 VINO_EXEC_TIER=0 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "== [2/8] offline verifier audit: vverify over example grafts + zoo =="
+echo "== [2/9] offline verifier audit: vverify over example grafts + zoo =="
 AUDIT_DIR="$PWD/build/graft-audit"
 rm -rf "$AUDIT_DIR" && mkdir -p "$AUDIT_DIR"
 for src in examples/grafts/*.vasm; do
@@ -90,11 +98,11 @@ grep -q 'Forged toolchain' "$AUDIT_DIR/zoo.out" || {
   echo "zoo output missing the forged-toolchain section" >&2; exit 1; }
 echo "verifier audit: ok (offline vverify and in-kernel loader agree)"
 
-echo "== [3/8] flaky-dispatch guard: robustness_test x20 =="
+echo "== [3/9] flaky-dispatch guard: robustness_test x20 =="
 ctest --test-dir build -R robustness_test --repeat until-fail:20 \
   --output-on-failure
 
-echo "== [4/8] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
+echo "== [4/9] flight recorder live: suite with VINO_TRACE=1 + spooling + graftstat =="
 # VINO_SPOOL makes every VinoKernel constructed by the suite spool its
 # flight recorder to a per-kernel file; every spool produced must then
 # parse cleanly with graftstat --spool (exit 0 tolerates truncated tails,
@@ -136,7 +144,7 @@ print(f"graftstat --json smoke: ok ({aborts} aborts, {records} records, "
       f"{len(tiered)} tiered graft(s))")
 '
 
-echo "== [5/8] fleet observability: multi-kernel spool dir + --fleet attach =="
+echo "== [5/9] fleet observability: multi-kernel spool dir + --fleet attach =="
 # Three graftstat self-test processes spool rotated segment rings into one
 # VINO_SPOOL directory; one --fleet view must multiplex all of them. Real
 # process interleaving, so it runs under the same until-fail flake guard as
@@ -144,7 +152,7 @@ echo "== [5/8] fleet observability: multi-kernel spool dir + --fleet attach =="
 ctest --test-dir build -R graftstat_fleet_smoke --repeat until-fail:5 \
   --output-on-failure
 
-echo "== [6/8] multi-tenant serving smoke: survival invariants hard-fail =="
+echo "== [6/9] multi-tenant serving smoke: survival invariants hard-fail =="
 # A scaled-down 48-installer run of the PR-9 serving scenario, hostile mix
 # included, flight recorder spooled. serve_bench exits non-zero if any
 # survival invariant fails (hostile graft not ejected, lost events,
@@ -156,6 +164,23 @@ VINO_TRACE=1 build/bench/serve_bench --smoke \
   --spool "$SERVE_SPOOL" --json "$PWD/build/serve.smoke.json"
 build/tools/graftstat --spool "$SERVE_SPOOL" --json >/dev/null
 echo "serving smoke: ok (all invariants held; spool replayed cleanly)"
+
+echo "== [7/9] adversarial graft fuzzing: graftfuzz --smoke =="
+# Deterministic survive-and-eject campaigns: fixed seeds drive generated
+# valid / forged / byte-soup programs through the full load -> verify ->
+# install -> invoke -> abort/eject lifecycle on a live kernel with the
+# spool attached. Any anomaly exits non-zero and leaves a reproducer
+# bundle (program bytes, disassembly, seed, spool tail, triage) under
+# build/fuzz-artifacts. --fast keeps the stage but trims the per-seed
+# program budget.
+FUZZ_ART="$PWD/build/fuzz-artifacts"
+rm -rf "$FUZZ_ART" && mkdir -p "$FUZZ_ART"
+FUZZ_BUDGET=()
+if [[ "$FAST" == "1" ]]; then
+  FUZZ_BUDGET=(--programs 150)
+fi
+build/tools/graftfuzz --smoke --artifacts "$FUZZ_ART" \
+  ${FUZZ_BUDGET[@]+"${FUZZ_BUDGET[@]}"}
 
 if [[ "$BENCH" == "1" ]]; then
   # Shared CI boxes are too noisy for a hard perf gate, so the default is
@@ -189,11 +214,11 @@ if [[ "$BENCH" == "1" ]]; then
 fi
 
 if [[ "$FAST" == "1" ]]; then
-  echo "== [7/8] [8/8] skipped (--fast) =="
+  echo "== [8/9] [9/9] skipped (--fast) =="
   exit 0
 fi
 
-echo "== [7/8] ThreadSanitizer: concurrency-heavy tests =="
+echo "== [8/9] ThreadSanitizer: concurrency-heavy tests =="
 cmake -B build-tsan -S . -DVINO_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS"
 # TSAN_OPTIONS: fail the test process on the first report; tools/tsan.supp
@@ -216,8 +241,12 @@ for tier in 0 1; do
     -R 'property_test|threaded_vm_test|abort_delivery_test' \
     --output-on-failure -j "$JOBS"
 done
+# The survive-and-eject fuzz smoke under TSan: spool drainer, watchdogless
+# abort delivery, and event-pool dispatch racing inside one live kernel.
+TSAN_OPTIONS="halt_on_error=1 suppressions=$PWD/tools/tsan.supp" \
+  build-tsan/tools/graftfuzz --smoke --artifacts "$FUZZ_ART"
 
-echo "== [8/8] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
+echo "== [9/9] AddressSanitizer+UBSan: full suite (minus alloc_test) =="
 cmake -B build-asan -S . -DVINO_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS"
 # alloc_test is excluded: it replaces global operator new to count heap
@@ -234,5 +263,10 @@ for tier in 0 1; do
     -R 'property_test|threaded_vm_test|abort_delivery_test' \
     --output-on-failure -j "$JOBS"
 done
+# The fuzz smoke under ASan+UBSan: generated hostility through the whole
+# load/verify/invoke/eject path with heap misuse and UB checked live.
+ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" \
+UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1" \
+  build-asan/tools/graftfuzz --smoke --artifacts "$FUZZ_ART"
 
 echo "All checks passed."
